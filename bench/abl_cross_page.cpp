@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Section IV-J ablation: cross-page prefetching. Berti trains and
+ * issues on virtual addresses, so prefetches may cross 4 KB pages (as
+ * long as the STLB can translate them); this bench disables issuing
+ * across pages (training unchanged) and reports the loss.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace berti;
+    using namespace berti::bench;
+
+    auto workloads = specGapWorkloads();
+    SimParams params = defaultParams();
+    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
+
+    std::cout << "Ablation (section IV-J): cross-page prefetching\n\n";
+    TextTable t({"configuration", "SPEC17", "GAP", "all"});
+    for (bool cross : {true, false}) {
+        BertiConfig cfg;
+        cfg.crossPage = cross;
+        auto r = runSuite(
+            workloads,
+            makeBertiSpec(cfg, cross ? "berti" : "berti-nocross"),
+            params);
+        t.addRow({cross ? "cross-page (default)" : "page-bounded",
+                  TextTable::num(
+                      suiteSpeedup(workloads, r, base, "spec")),
+                  TextTable::num(suiteSpeedup(workloads, r, base, "gap")),
+                  TextTable::num(suiteSpeedup(workloads, r, base, ""))});
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+    t.print(std::cout);
+    return 0;
+}

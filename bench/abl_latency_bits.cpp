@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Section IV-J ablation: effect of the latency-counter width. The
+ * paper reports no gain from 32-bit counters and a clear loss with
+ * 4-bit counters (every DRAM-latency fill overflows and is skipped).
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace berti;
+    using namespace berti::bench;
+
+    auto workloads = specGapWorkloads();
+    SimParams params = defaultParams();
+    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
+
+    std::cout << "Ablation (section IV-J): latency-counter width\n\n";
+    TextTable t({"latency-bits", "SPEC17", "GAP", "all"});
+    for (unsigned bits : {4u, 12u, 32u}) {
+        BertiConfig cfg;
+        cfg.latencyBits = bits;
+        auto r = runSuite(workloads, makeBertiSpec(cfg), params);
+        t.addRow({std::to_string(bits),
+                  TextTable::num(
+                      suiteSpeedup(workloads, r, base, "spec")),
+                  TextTable::num(suiteSpeedup(workloads, r, base, "gap")),
+                  TextTable::num(suiteSpeedup(workloads, r, base, ""))});
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Heritage comparison: per-IP local deltas (this paper) versus the
+ * per-page context of the DPC-3 precursor the paper cites ("Berti: a
+ * per-page best-request-time delta prefetcher"). The per-IP context is
+ * what separates interleaved streams; per-page folds every IP touching
+ * a page into one delta history.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace berti;
+    using namespace berti::bench;
+
+    auto workloads = specGapWorkloads();
+    SimParams params = defaultParams();
+    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
+
+    std::cout << "Heritage: per-IP (MICRO 2022) vs per-page (DPC-3) "
+                 "delta context\n\n";
+    TextTable t({"context", "speedup-spec", "speedup-gap", "speedup-all",
+                 "accuracy-spec+gap"});
+    for (bool per_page : {false, true}) {
+        BertiConfig cfg;
+        cfg.perPage = per_page;
+        auto r = runSuite(
+            workloads,
+            makeBertiSpec(cfg, per_page ? "berti-page" : "berti-ip"),
+            params);
+        t.addRow({per_page ? "per-page (DPC-3)" : "per-IP (paper)",
+                  TextTable::num(suiteSpeedup(workloads, r, base,
+                                              "spec")),
+                  TextTable::num(suiteSpeedup(workloads, r, base, "gap")),
+                  TextTable::num(suiteSpeedup(workloads, r, base, "")),
+                  TextTable::pct(suiteAccuracy(workloads, r, ""))});
+        std::fprintf(stderr, ".");
+    }
+    std::fprintf(stderr, "\n");
+    t.print(std::cout);
+    return 0;
+}

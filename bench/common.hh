@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared plumbing for the bench binaries: default simulation lengths,
+ * suite shortcuts, result matrices and normalisation helpers. Each
+ * bench regenerates one table or figure of the paper.
+ */
+
+#ifndef BERTI_BENCH_COMMON_HH
+#define BERTI_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+namespace berti::bench
+{
+
+/** Default region-of-interest sizes for bench runs. Set
+ *  BERTI_BENCH_QUICK=1 in the environment for a fast smoke pass. */
+inline SimParams
+defaultParams()
+{
+    SimParams p;
+    p.warmupInstructions = 40000;
+    p.measureInstructions = 200000;
+    if (const char *quick = std::getenv("BERTI_BENCH_QUICK");
+        quick && quick[0] == '1') {
+        p.warmupInstructions = 10000;
+        p.measureInstructions = 40000;
+    }
+    return p;
+}
+
+/** spec-name -> per-workload results, with progress on stderr. */
+inline std::map<std::string, std::vector<SimResult>>
+runMatrix(const std::vector<Workload> &workloads,
+          const std::vector<std::string> &spec_names,
+          const SimParams &params)
+{
+    std::map<std::string, std::vector<SimResult>> out;
+    for (const auto &name : spec_names) {
+        PrefetcherSpec spec = makeSpec(name);
+        std::fprintf(stderr, "[bench] %-18s", name.c_str());
+        std::vector<SimResult> results;
+        for (const auto &w : workloads) {
+            results.push_back(simulate(w, spec, params));
+            std::fprintf(stderr, ".");
+        }
+        std::fprintf(stderr, "\n");
+        out.emplace(name, std::move(results));
+    }
+    return out;
+}
+
+/** Geomean speedup of a sub-range selected by suite. */
+inline double
+suiteSpeedup(const std::vector<Workload> &workloads,
+             const std::vector<SimResult> &test,
+             const std::vector<SimResult> &baseline,
+             const std::string &suite)
+{
+    std::vector<double> s;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (suite.empty() || workloads[i].suite == suite) {
+            if (baseline[i].ipc > 0)
+                s.push_back(test[i].ipc / baseline[i].ipc);
+        }
+    }
+    return geomean(s.data(), s.size());
+}
+
+/** Arithmetic mean of a per-workload metric over a suite. */
+template <typename Fn>
+double
+suiteMean(const std::vector<Workload> &workloads,
+          const std::vector<SimResult> &results, const std::string &suite,
+          Fn metric)
+{
+    double sum = 0.0;
+    unsigned n = 0;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (suite.empty() || workloads[i].suite == suite) {
+            sum += metric(results[i]);
+            ++n;
+        }
+    }
+    return n ? sum / n : 0.0;
+}
+
+/**
+ * Fills-weighted suite prefetch accuracy: total useful / total fills
+ * at the given level (so workloads whose prefetches all landed one
+ * level down do not contribute spurious zeros).
+ */
+inline double
+suiteAccuracy(const std::vector<Workload> &workloads,
+              const std::vector<SimResult> &results,
+              const std::string &suite, bool l2 = false)
+{
+    double useful = 0, fills = 0;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (!suite.empty() && workloads[i].suite != suite)
+            continue;
+        const CacheStats &c =
+            l2 ? results[i].roi.l2 : results[i].roi.l1d;
+        useful += static_cast<double>(c.prefetchUseful);
+        fills += static_cast<double>(c.prefetchFills);
+    }
+    return fills > 0 ? std::min(1.0, useful / fills) : 0.0;
+}
+
+/** Fills-weighted fraction of late useful prefetches at the L1D. */
+inline double
+suiteLateFraction(const std::vector<Workload> &workloads,
+                  const std::vector<SimResult> &results,
+                  const std::string &suite)
+{
+    double late = 0, fills = 0;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (!suite.empty() && workloads[i].suite != suite)
+            continue;
+        late += static_cast<double>(results[i].roi.l1d.prefetchLate);
+        fills += static_cast<double>(results[i].roi.l1d.prefetchFills);
+    }
+    return fills > 0 ? late / fills : 0.0;
+}
+
+/** Sum of traffic (reads forwarded + writebacks) out of a level. */
+inline double
+trafficBelow(const CacheStats &c)
+{
+    return static_cast<double>(c.requestsBelow + c.writebacks);
+}
+
+inline double
+storageKb(const std::string &spec_name)
+{
+    return static_cast<double>(makeSpec(spec_name).storageBits) / 8192.0;
+}
+
+} // namespace berti::bench
+
+#endif // BERTI_BENCH_COMMON_HH

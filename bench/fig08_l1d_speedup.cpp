@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Figure 8: per-suite geometric-mean speedup of the L1D prefetchers
+ * (MLOP, IPCP, Berti) over the IP-stride baseline.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace berti;
+    using namespace berti::bench;
+
+    auto workloads = specGapWorkloads();
+    SimParams params = defaultParams();
+    auto m = runMatrix(workloads, {"ip-stride", "mlop", "ipcp", "berti"},
+                       params);
+
+    std::cout << "Figure 8: speedup of L1D prefetchers vs IP-stride\n\n";
+    TextTable t({"prefetcher", "SPEC17", "GAP", "all"});
+    for (const char *name : {"mlop", "ipcp", "berti"}) {
+        t.addRow({name,
+                  TextTable::num(suiteSpeedup(workloads, m[name],
+                                              m["ip-stride"], "spec")),
+                  TextTable::num(suiteSpeedup(workloads, m[name],
+                                              m["ip-stride"], "gap")),
+                  TextTable::num(suiteSpeedup(workloads, m[name],
+                                              m["ip-stride"], ""))});
+    }
+    t.print(std::cout);
+    return 0;
+}

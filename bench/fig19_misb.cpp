@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 19: interaction with the MISB temporal prefetcher at L2 —
+ * speedups of MLOP/IPCP/Berti with and without MISB, on CloudSuite
+ * (where temporal patterns help) and on SPEC+GAP (where SPP-PPF is the
+ * better L2 companion).
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace berti;
+    using namespace berti::bench;
+
+    SimParams params = defaultParams();
+    const std::vector<std::string> specs = {
+        "ip-stride",  "mlop",      "ipcp",      "berti",
+        "mlop+misb", "ipcp+misb", "berti+misb", "berti+spp-ppf",
+    };
+
+    std::cout << "Figure 19: speedup with and without MISB at L2 (vs "
+                 "IP-stride)\n\n";
+    TextTable t({"configuration", "cloud", "spec+gap"});
+
+    auto cloud = suiteWorkloads("cloud");
+    auto specgap = specGapWorkloads();
+    auto mc = runMatrix(cloud, specs, params);
+    auto ms = runMatrix(specgap, specs, params);
+
+    for (const auto &name : specs) {
+        if (name == "ip-stride")
+            continue;
+        t.addRow({name,
+                  TextTable::num(suiteSpeedup(cloud, mc[name],
+                                              mc["ip-stride"], "cloud")),
+                  TextTable::num(suiteSpeedup(specgap, ms[name],
+                                              ms["ip-stride"], ""))});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the prefetcher training +
+ * prediction paths: simulated accesses per second for each design.
+ * Useful when tuning the simulator's hot loop; not part of the paper.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/berti.hh"
+#include "prefetch/bingo.hh"
+#include "prefetch/bop.hh"
+#include "prefetch/ip_stride.hh"
+#include "prefetch/ipcp.hh"
+#include "prefetch/misb.hh"
+#include "prefetch/mlop.hh"
+#include "prefetch/ppf.hh"
+#include "prefetch/pythia.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/stream.hh"
+#include "prefetch/spp.hh"
+#include "prefetch/vldp.hh"
+
+namespace
+{
+
+using namespace berti;
+
+struct NullPort : PrefetchPort
+{
+    Cycle t = 0;
+
+    bool issuePrefetch(Addr, FillLevel) override { return true; }
+    double mshrOccupancy() const override { return 0.3; }
+    Cycle now() const override { return t; }
+};
+
+template <typename Pf>
+void
+driveAccesses(benchmark::State &state)
+{
+    Pf pf;
+    NullPort port;
+    pf.bind(&port);
+    std::uint64_t x = 0x2545F4914F6CDD1Dull;
+    for (auto _ : state) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        port.t += 4;
+        Prefetcher::AccessInfo a;
+        // A mix of 8 strided streams and noise.
+        unsigned s = x % 8;
+        a.vLine = (s << 24) + ((port.t / 32) & 0xFFFF) + (x & 3);
+        a.pLine = a.vLine;
+        a.ip = 0x400000 + 4 * s;
+        a.hit = (x & 7) != 0;
+        pf.onAccess(a);
+        if ((x & 15) == 0) {
+            Prefetcher::FillInfo f;
+            f.vLine = a.vLine;
+            f.pLine = a.pLine;
+            f.ip = a.ip;
+            f.hadDemandWaiter = true;
+            f.latency = 150;
+            pf.onFill(f);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(driveAccesses<BertiPrefetcher>)->Name("berti/access");
+BENCHMARK(driveAccesses<IpStridePrefetcher>)->Name("ip-stride/access");
+BENCHMARK(driveAccesses<BopPrefetcher>)->Name("bop/access");
+BENCHMARK(driveAccesses<MlopPrefetcher>)->Name("mlop/access");
+BENCHMARK(driveAccesses<IpcpPrefetcher>)->Name("ipcp/access");
+BENCHMARK(driveAccesses<VldpPrefetcher>)->Name("vldp/access");
+BENCHMARK(driveAccesses<SppPrefetcher>)->Name("spp/access");
+BENCHMARK(driveAccesses<SppPpfPrefetcher>)->Name("spp-ppf/access");
+BENCHMARK(driveAccesses<BingoPrefetcher>)->Name("bingo/access");
+BENCHMARK(driveAccesses<MisbPrefetcher>)->Name("misb/access");
+BENCHMARK(driveAccesses<PythiaPrefetcher>)->Name("pythia/access");
+BENCHMARK(driveAccesses<SmsPrefetcher>)->Name("sms/access");
+BENCHMARK(driveAccesses<StreamPrefetcher>)->Name("stream/access");
+
+BENCHMARK_MAIN();

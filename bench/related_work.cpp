@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Section V qualitative comparisons, quantified: the related-work
+ * prefetchers the paper discusses but does not plot — stream, SMS,
+ * VLDP, MISB and Pythia — against Berti, on the SPEC+GAP pool.
+ */
+
+#include "common.hh"
+
+int
+main()
+{
+    using namespace berti;
+    using namespace berti::bench;
+
+    auto workloads = specGapWorkloads();
+    SimParams params = defaultParams();
+    const std::vector<std::string> specs = {
+        "ip-stride", "stream",      "none+sms",   "none+vldp",
+        "none+misb", "none+pythia", "berti",
+    };
+    auto m = runMatrix(workloads, specs, params);
+
+    std::cout << "Related work (section V): speedup vs IP-stride and "
+                 "L1D accuracy\n\n";
+    TextTable t({"configuration", "speedup-spec", "speedup-gap",
+                 "speedup-all", "storage-KB"});
+    for (const auto &name : specs) {
+        if (name == "ip-stride")
+            continue;
+        t.addRow({name,
+                  TextTable::num(suiteSpeedup(workloads, m[name],
+                                              m["ip-stride"], "spec")),
+                  TextTable::num(suiteSpeedup(workloads, m[name],
+                                              m["ip-stride"], "gap")),
+                  TextTable::num(suiteSpeedup(workloads, m[name],
+                                              m["ip-stride"], "")),
+                  TextTable::num(storageKb(name), 2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Extensibility example: writing your own prefetcher against the
+ * library's Prefetcher interface and racing it against Berti. The
+ * custom design here is a simple "two ahead on every miss" prefetcher
+ * — a few lines of code — which makes the accuracy/timeliness gap to
+ * Berti easy to see.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace
+{
+
+using namespace berti;
+
+/** Prefetch the next two lines on every demand miss. */
+class TwoAheadPrefetcher : public Prefetcher
+{
+  public:
+    void
+    onAccess(const AccessInfo &info) override
+    {
+        if (info.hit || info.vLine == kNoAddr)
+            return;
+        port->issuePrefetch(info.vLine + 1, FillLevel::L1);
+        port->issuePrefetch(info.vLine + 2, FillLevel::L1);
+    }
+
+    std::uint64_t storageBits() const override { return 0; }
+    std::string name() const override { return "two-ahead"; }
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace berti;
+
+    // A PrefetcherSpec is just a name + factory: plug the custom
+    // design in exactly like the built-in ones.
+    PrefetcherSpec custom;
+    custom.name = "two-ahead";
+    custom.l1d = [] { return std::make_unique<TwoAheadPrefetcher>(); };
+
+    SimParams params;
+    params.warmupInstructions = 30000;
+    params.measureInstructions = 150000;
+
+    TextTable t({"workload", "prefetcher", "IPC", "accuracy",
+                 "useless-prefetches"});
+    for (const char *wname :
+         {"stream-like.1", "mcf-like.1554", "omnetpp-like.874"}) {
+        const Workload &w = findWorkload(wname);
+        for (const PrefetcherSpec &spec :
+             {custom, makeSpec("berti")}) {
+            SimResult r = simulate(w, spec, params);
+            t.addRow({wname, spec.name, TextTable::num(r.ipc),
+                      TextTable::pct(r.roi.l1d.accuracy()),
+                      std::to_string(r.roi.l1d.prefetchUseless)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nThe naive design keeps up on sequential streams "
+                 "but wastes fills on irregular workloads, where "
+                 "Berti's coverage-gated deltas stay quiet.\n";
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Domain example: graph analytics. Builds a custom power-law graph,
+ * runs the GAP kernels over it on the simulated machine, and reports
+ * how each prefetcher handles the kernels' mixed regular (CSR scans) +
+ * irregular (property gathers) access behaviour.
+ *
+ * Usage: graph_analytics [nodes-log2] [avg-degree]
+ */
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+#include "trace/gap_kernels.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace berti;
+
+    unsigned log2_nodes = argc > 1 ? std::stoul(argv[1]) : 17;
+    unsigned degree = argc > 2 ? std::stoul(argv[2]) : 8;
+
+    std::cout << "Building a Kronecker-like power-law graph: 2^"
+              << log2_nodes << " nodes, average degree " << degree
+              << "...\n";
+    auto graph = std::make_shared<const Csr>(
+        makeKronGraph(1u << log2_nodes, degree, 0xD1CE));
+    std::cout << "  " << graph->numNodes << " nodes, "
+              << graph->numEdges() << " edges\n\n";
+
+    struct KernelDef
+    {
+        const char *name;
+        GapKernel kernel;
+    };
+    const KernelDef kernels[] = {
+        {"bfs", GapKernel::Bfs},
+        {"pagerank", GapKernel::PageRank},
+        {"components", GapKernel::Cc},
+        {"sssp", GapKernel::Sssp},
+    };
+
+    SimParams params;
+    params.warmupInstructions = 30000;
+    params.measureInstructions = 150000;
+
+    TextTable t({"kernel", "prefetcher", "IPC", "speedup", "L1D-MPKI",
+                 "pf-accuracy"});
+    for (const auto &k : kernels) {
+        double baseline_ipc = 0.0;
+        for (const std::string pf_name :
+             {"ip-stride", "ipcp", "berti"}) {
+            // Wrap the kernel as an ad-hoc workload.
+            Workload w;
+            w.name = k.name;
+            w.suite = "custom";
+            GapKernel kern = k.kernel;
+            w.make = [kern, graph] {
+                return std::make_unique<GapGen>(kern, graph, 7);
+            };
+            SimResult r = simulate(w, makeSpec(pf_name), params);
+            if (pf_name == "ip-stride")
+                baseline_ipc = r.ipc;
+            t.addRow({k.name, pf_name, TextTable::num(r.ipc),
+                      TextTable::num(baseline_ipc > 0
+                                         ? r.ipc / baseline_ipc : 1.0),
+                      TextTable::num(
+                          r.roi.l1d.mpki(r.roi.core.instructions), 1),
+                      TextTable::pct(r.roi.l1d.accuracy())});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nNote the paper's GAP finding: gains are modest and "
+                 "accuracy separates the prefetchers — Berti stays "
+                 "accurate on the irregular gathers.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CLI example: race any set of prefetcher configurations on any
+ * registered workload and print the full scorecard (IPC, MPKI at all
+ * levels, accuracy, timeliness, traffic, energy).
+ *
+ * Usage: prefetcher_shootout [workload] [spec ...]
+ *   e.g. prefetcher_shootout mcf-like.1554 ip-stride mlop ipcp berti
+ *        prefetcher_shootout bfs-kron berti berti+spp-ppf mlop+bingo
+ *
+ * Run with no arguments for a default configuration; pass "list" to
+ * enumerate workloads.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace berti;
+
+    if (argc > 1 && std::string(argv[1]) == "list") {
+        for (const auto &w : allWorkloads())
+            std::cout << w.suite << "\t" << w.name << "\n";
+        return 0;
+    }
+
+    std::string workload_name = argc > 1 ? argv[1] : "mcf-like.1554";
+    std::vector<std::string> spec_names;
+    for (int i = 2; i < argc; ++i)
+        spec_names.push_back(argv[i]);
+    if (spec_names.empty())
+        spec_names = {"none", "ip-stride", "mlop", "ipcp", "berti"};
+
+    const Workload &w = findWorkload(workload_name);
+    SimParams params;
+    params.warmupInstructions = 40000;
+    params.measureInstructions = 200000;
+
+    std::cout << "workload: " << w.name << " (suite " << w.suite
+              << ")\n\n";
+    TextTable t({"prefetcher", "IPC", "L1D-MPKI", "L2-MPKI", "LLC-MPKI",
+                 "accuracy", "timely", "DRAM-reads/KI", "energy-nJ/KI",
+                 "storage-KB"});
+    for (const auto &name : spec_names) {
+        PrefetcherSpec spec = makeSpec(name);
+        SimResult r = simulate(w, spec, params);
+        double ki =
+            static_cast<double>(r.roi.core.instructions) / 1000.0;
+        double timely = r.roi.l1d.prefetchFills
+            ? static_cast<double>(r.roi.l1d.prefetchTimely()) /
+                  r.roi.l1d.prefetchFills
+            : 0.0;
+        t.addRow({name, TextTable::num(r.ipc),
+                  TextTable::num(r.roi.l1d.mpki(r.roi.core.instructions),
+                                 1),
+                  TextTable::num(r.roi.l2.mpki(r.roi.core.instructions),
+                                 1),
+                  TextTable::num(r.roi.llc.mpki(r.roi.core.instructions),
+                                 1),
+                  TextTable::pct(r.roi.l1d.accuracy()),
+                  TextTable::pct(timely),
+                  TextTable::num(r.roi.dram.reads / ki, 1),
+                  TextTable::num(r.energy.total() / ki, 1),
+                  TextTable::num(
+                      static_cast<double>(spec.storageBits) / 8192.0,
+                      2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Insert measured bench outputs into EXPERIMENTS.md placeholders.
+
+Each <!--FIGxx--> marker is replaced by the corresponding results/ file
+content, fenced as a code block. Idempotent: run after ./run_benches.sh.
+"""
+import pathlib
+import re
+
+MAPPING = {
+    "FIG01": "fig01_motivation",
+    "FIG03": "fig03_local_vs_global",
+    "FIG07": "fig07_speedup_vs_storage",
+    "FIG08": "fig08_l1d_speedup",
+    "FIG10": "fig10_accuracy",
+    "FIG11": "fig11_mpki",
+    "FIG12": "fig12_multilevel_speedup",
+    "FIG14": "fig14_traffic",
+    "FIG15": "fig15_energy",
+    "FIG16": "fig16_dram_bw_l1d",
+    "FIG18": "fig18_cloudsuite",
+    "FIG19": "fig19_misb",
+    "FIG20": "fig20_multicore",
+    "FIG21": "fig21_watermarks",
+    "FIG22": "fig22_table_sizes",
+}
+
+
+def main() -> None:
+    doc = pathlib.Path("EXPERIMENTS.md")
+    text = doc.read_text()
+    for marker, bench in MAPPING.items():
+        path = pathlib.Path("results") / f"{bench}.txt"
+        if not path.exists():
+            continue
+        body = path.read_text().strip()
+        block = f"```\n{body}\n```"
+        # Replace either the bare marker or a previously filled block
+        # that still carries the marker as its first line.
+        pattern = re.compile(
+            r"<!--" + marker + r"-->(?:\n```.*?```)?", re.S)
+        text = pattern.sub(f"<!--{marker}-->\n{block}", text, count=1)
+    doc.write_text(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

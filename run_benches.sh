@@ -1,0 +1,19 @@
+#!/bin/sh
+# Run every bench binary, one output file per bench under results/.
+# Resumable: benches with a non-empty results file are skipped, so the
+# script can be re-invoked until it prints ALL_BENCHES_DONE.
+mkdir -p results
+for b in build/bench/*; do
+    n=$(basename "$b")
+    { [ -f "$b" ] && [ -x "$b" ]; } || continue
+    [ "$n" = "micro_prefetchers" ] && continue
+    [ -s "results/$n.txt" ] && continue
+    echo "=== $n start $(date +%T)"
+    "./build/bench/$n" > "results/$n.txt" 2> /dev/null || true
+    echo "=== $n done $(date +%T)"
+done
+if [ ! -s results/micro_prefetchers.txt ]; then
+    ./build/bench/micro_prefetchers --benchmark_min_time=0.1s \
+        > results/micro_prefetchers.txt 2> /dev/null || true
+fi
+echo ALL_BENCHES_DONE

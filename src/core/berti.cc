@@ -1,0 +1,410 @@
+#include "core/berti.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace berti
+{
+
+namespace
+{
+
+constexpr Cycle kTimestampMask = 0xFFFF;  //!< 16-bit history timestamps
+
+} // namespace
+
+BertiPrefetcher::BertiPrefetcher(const BertiConfig &config)
+    : cfg(config),
+      history(static_cast<std::size_t>(cfg.historySets) * cfg.historyWays),
+      table(cfg.deltaTableEntries)
+{
+    for (auto &e : table)
+        e.slots.resize(cfg.deltasPerEntry);
+}
+
+unsigned
+BertiPrefetcher::historyIndex(Addr ip) const
+{
+    return static_cast<unsigned>((ip >> 2) % cfg.historySets);
+}
+
+std::uint16_t
+BertiPrefetcher::historyTag(Addr ip) const
+{
+    // Seven bits above the index bits (section III-C / Figure 6).
+    return static_cast<std::uint16_t>(
+        (ip >> 2) / cfg.historySets & 0x7F);
+}
+
+std::uint16_t
+BertiPrefetcher::deltaTag(Addr ip) const
+{
+    // 10-bit hash of the IP.
+    std::uint64_t h = (ip >> 2) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::uint16_t>(h >> 54);
+}
+
+Addr
+BertiPrefetcher::contextOf(Addr ip, Addr v_line) const
+{
+    // The local-delta context: the IP (this paper) or the 4 KB page
+    // (the DPC-3 precursor). Shifted so the >>2 in the index/tag
+    // hashes keeps mixing well.
+    return cfg.perPage ? (v_line >> (kPageBits - kLineBits)) << 2 : ip;
+}
+
+Cycle
+BertiPrefetcher::clampLatency(Cycle latency) const
+{
+    Cycle max = (Cycle{1} << cfg.latencyBits) - 1;
+    return latency > max ? 0 : latency;
+}
+
+void
+BertiPrefetcher::insertHistory(Addr ip, Addr v_line)
+{
+    std::size_t base =
+        static_cast<std::size_t>(historyIndex(ip)) * cfg.historyWays;
+    // FIFO within the set: replace the oldest insertion.
+    std::size_t victim = base;
+    for (unsigned w = 0; w < cfg.historyWays; ++w) {
+        if (!history[base + w].valid) {
+            victim = base + w;
+            break;
+        }
+        if (history[base + w].order < history[victim].order)
+            victim = base + w;
+    }
+    HistoryEntry &e = history[victim];
+    e.valid = true;
+    e.ipTag = historyTag(ip);
+    e.line = v_line & 0xFFFFFF;  // 24-bit stored line address
+    e.ts = port->now() & kTimestampMask;
+    e.order = ++orderTick;
+}
+
+void
+BertiPrefetcher::searchHistory(Addr ip, Addr v_line, Cycle demand_time,
+                               Cycle latency)
+{
+    latency = clampLatency(latency);
+    if (latency == 0)
+        return;  // overflowed counter or unknown: skip training
+
+    ++historySearches;
+
+    std::size_t base =
+        static_cast<std::size_t>(historyIndex(ip)) * cfg.historyWays;
+    std::uint16_t tag = historyTag(ip);
+
+    // Collect matching entries whose access time is early enough that a
+    // prefetch triggered then would have completed by demand_time:
+    //   entry.ts + latency <= demand_time.
+    struct Cand
+    {
+        std::uint64_t order;
+        Addr line;
+    };
+    std::vector<Cand> cands;
+    Cycle demand_masked = demand_time & kTimestampMask;
+    for (unsigned w = 0; w < cfg.historyWays; ++w) {
+        const HistoryEntry &e = history[base + w];
+        if (!e.valid || e.ipTag != tag)
+            continue;
+        // 16-bit wrap-safe age of the entry relative to the demand.
+        Cycle age = (demand_masked - e.ts) & kTimestampMask;
+        Cycle min_age = cfg.requireTimely ? latency : 1;
+        if (age >= min_age && age < (kTimestampMask >> 1))
+            cands.push_back({e.order, e.line});
+    }
+
+    // Keep the youngest maxTimelyPerSearch candidates.
+    std::sort(cands.begin(), cands.end(),
+              [](const Cand &a, const Cand &b) { return a.order > b.order; });
+    if (cands.size() > cfg.maxTimelyPerSearch)
+        cands.resize(cfg.maxTimelyPerSearch);
+
+    DeltaEntry *entry = findDeltaEntry(ip);
+    if (!entry)
+        entry = &allocDeltaEntry(ip);
+
+    for (const Cand &c : cands) {
+        // Deltas computed over 24-bit stored line addresses.
+        int delta = static_cast<int>(
+            static_cast<std::int64_t>(v_line & 0xFFFFFF) -
+            static_cast<std::int64_t>(c.line));
+        if (delta == 0 || delta > cfg.maxDeltaMagnitude ||
+            delta < -cfg.maxDeltaMagnitude) {
+            continue;
+        }
+        ++timelyDeltasFound;
+        recordDelta(*entry, delta);
+    }
+
+    if (++entry->counter >= cfg.phaseLength)
+        closePhase(*entry);
+}
+
+BertiPrefetcher::DeltaEntry *
+BertiPrefetcher::findDeltaEntry(Addr ip)
+{
+    std::uint16_t tag = deltaTag(ip);
+    for (auto &e : table) {
+        if (e.valid && e.ipTag == tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+const BertiPrefetcher::DeltaEntry *
+BertiPrefetcher::findDeltaEntry(Addr ip) const
+{
+    return const_cast<BertiPrefetcher *>(this)->findDeltaEntry(ip);
+}
+
+BertiPrefetcher::DeltaEntry &
+BertiPrefetcher::allocDeltaEntry(Addr ip)
+{
+    // FIFO over the fully-associative table.
+    std::size_t victim = 0;
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        if (!table[i].valid) {
+            victim = i;
+            break;
+        }
+        if (table[i].order < table[victim].order)
+            victim = i;
+    }
+    DeltaEntry &e = table[victim];
+    e.valid = true;
+    e.ipTag = deltaTag(ip);
+    e.counter = 0;
+    e.warm = false;
+    e.gathered = 0;
+    e.order = ++orderTick;
+    for (auto &s : e.slots)
+        s = DeltaSlot{};
+    return e;
+}
+
+void
+BertiPrefetcher::recordDelta(DeltaEntry &entry, int delta)
+{
+    if (entry.gathered < 0xFFFF)
+        ++entry.gathered;
+    DeltaSlot *free_slot = nullptr;
+    for (auto &s : entry.slots) {
+        if (s.valid && s.delta == delta) {
+            if (s.coverage < 15)
+                ++s.coverage;
+            return;
+        }
+        if (!s.valid && !free_slot)
+            free_slot = &s;
+    }
+    if (free_slot) {
+        free_slot->valid = true;
+        free_slot->delta = delta;
+        free_slot->coverage = 1;
+        free_slot->status = DeltaStatus::NoPref;
+        return;
+    }
+
+    // Eviction: lowest-coverage slot whose previous-phase status marked
+    // it replaceable (L2PrefRepl or NoPref). Otherwise discard.
+    DeltaSlot *victim = nullptr;
+    for (auto &s : entry.slots) {
+        if (s.status != DeltaStatus::L2PrefRepl &&
+            s.status != DeltaStatus::NoPref) {
+            continue;
+        }
+        if (!victim || s.coverage < victim->coverage)
+            victim = &s;
+    }
+    if (victim) {
+        victim->delta = delta;
+        victim->coverage = 1;
+        victim->status = DeltaStatus::NoPref;
+    }
+}
+
+void
+BertiPrefetcher::closePhase(DeltaEntry &entry)
+{
+    ++phaseCompletions;
+
+    // Coverage fraction per delta over the phase, most covered first so
+    // the maxSelectedDeltas bound keeps the best ones.
+    std::vector<DeltaSlot *> order;
+    for (auto &s : entry.slots) {
+        if (s.valid)
+            order.push_back(&s);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const DeltaSlot *a, const DeltaSlot *b) {
+                  return a->coverage > b->coverage;
+              });
+
+    unsigned selected = 0;
+    double phase = static_cast<double>(cfg.phaseLength);
+    for (DeltaSlot *s : order) {
+        double cov = static_cast<double>(s->coverage) / phase;
+        if (cov > cfg.l1Watermark && selected < cfg.maxSelectedDeltas) {
+            s->status = DeltaStatus::L1Pref;
+            ++selected;
+        } else if (cov > cfg.l2Watermark &&
+                   selected < cfg.maxSelectedDeltas) {
+            s->status = cov < cfg.replWatermark ? DeltaStatus::L2PrefRepl
+                                                : DeltaStatus::L2Pref;
+            ++selected;
+        } else {
+            s->status = DeltaStatus::NoPref;
+        }
+        s->coverage = 0;
+    }
+    entry.counter = 0;
+    entry.warm = true;
+}
+
+void
+BertiPrefetcher::predict(Addr ip, Addr v_line)
+{
+    const DeltaEntry *entry = findDeltaEntry(ip);
+    if (!entry)
+        return;
+
+    bool mshr_free = port->mshrOccupancy() < cfg.mshrWatermark;
+
+    auto issue = [&](int delta, bool l1_class) {
+        Addr target = static_cast<Addr>(
+            static_cast<std::int64_t>(v_line) + delta);
+        if (!cfg.crossPage &&
+            (target >> (kPageBits - kLineBits)) !=
+                (v_line >> (kPageBits - kLineBits))) {
+            return;
+        }
+        FillLevel level = (l1_class && mshr_free) ? FillLevel::L1
+                                                  : FillLevel::L2;
+        port->issuePrefetch(target, level);
+    };
+
+    if (cfg.issueAllDeltas) {
+        // Selectivity ablation: fire every gathered delta.
+        for (const auto &s : entry->slots) {
+            if (s.valid)
+                issue(s.delta, true);
+        }
+        return;
+    }
+
+    if (!entry->warm) {
+        // Warm-up: before the first phase closes, issue only once at
+        // least eight timely deltas have been gathered, and with the
+        // stricter 80% coverage watermark (paper section III-C). The
+        // occurrence count (not distinct slots) is what matters: an IP
+        // whose delta table entry churns under FIFO pressure can still
+        // prefetch its high-coverage deltas.
+        if (entry->gathered < cfg.warmupMinDeltas ||
+            entry->counter == 0) {
+            return;
+        }
+        double searches = static_cast<double>(entry->counter);
+        for (const auto &s : entry->slots) {
+            if (s.valid &&
+                static_cast<double>(s.coverage) / searches >=
+                    cfg.warmupWatermark) {
+                issue(s.delta, true);
+            }
+        }
+        return;
+    }
+
+    for (const auto &s : entry->slots) {
+        if (!s.valid)
+            continue;
+        if (s.status == DeltaStatus::L1Pref) {
+            issue(s.delta, true);
+        } else if (s.status == DeltaStatus::L2Pref ||
+                   s.status == DeltaStatus::L2PrefRepl) {
+            issue(s.delta, false);
+        }
+    }
+}
+
+void
+BertiPrefetcher::onAccess(const AccessInfo &info)
+{
+    assert(port && "Berti must be bound to a cache");
+    if (info.vLine == kNoAddr)
+        return;
+
+    Addr ctx = contextOf(info.ip, info.vLine);
+    if (!info.hit) {
+        // Demand miss: record in the history at demand time. The
+        // matching search happens on the fill (with measured latency).
+        insertHistory(ctx, info.vLine);
+    } else if (info.firstHitOnPrefetch) {
+        // First demand hit on a prefetched line: a miss the baseline
+        // would have had. Record it and search with the stored latency.
+        insertHistory(ctx, info.vLine);
+        if (info.prefetchLatency != 0) {
+            searchHistory(ctx, info.vLine, port->now(),
+                          info.prefetchLatency);
+        }
+    }
+
+    // Prediction runs on every L1D access (section III-C).
+    predict(ctx, info.vLine);
+}
+
+void
+BertiPrefetcher::onFill(const FillInfo &info)
+{
+    // Learn only on fills the baseline would have missed: demand misses
+    // (including late prefetches a demand merged into). Pure prefetch
+    // fills train later, at first-use time (see onAccess).
+    if (!info.hadDemandWaiter || info.vLine == kNoAddr)
+        return;
+    Cycle demand_time = port->now() >= info.latency
+        ? port->now() - info.latency : 0;
+    searchHistory(contextOf(info.ip, info.vLine), info.vLine,
+                  demand_time, info.latency);
+}
+
+std::uint64_t
+BertiPrefetcher::storageBits() const
+{
+    // History table: per entry 7-bit tag + 24-bit line + 16-bit ts,
+    // plus 4 FIFO bits per set.
+    std::uint64_t history_bits =
+        static_cast<std::uint64_t>(cfg.historySets) * cfg.historyWays *
+            (7 + 24 + 16) +
+        cfg.historySets * 4;
+    // Table of deltas: 10-bit tag + 4-bit counter + FIFO 4 bits, and
+    // per delta 13-bit delta + 4-bit coverage + 2-bit status.
+    std::uint64_t table_bits =
+        static_cast<std::uint64_t>(cfg.deltaTableEntries) *
+        (10 + 4 + 4 + static_cast<std::uint64_t>(cfg.deltasPerEntry) *
+                          (13 + 4 + 2));
+    // PQ + MSHR timestamps (16 + 16 entries, 16 bits each).
+    std::uint64_t queue_bits = (16 + 16) * 16;
+    // Per-L1D-line latency counters (768 lines).
+    std::uint64_t line_bits = 768ull * cfg.latencyBits;
+    return history_bits + table_bits + queue_bits + line_bits;
+}
+
+std::vector<BertiPrefetcher::DeltaInfo>
+BertiPrefetcher::deltasFor(Addr ip) const
+{
+    std::vector<DeltaInfo> out;
+    const DeltaEntry *e = findDeltaEntry(ip);
+    if (!e)
+        return out;
+    for (const auto &s : e->slots) {
+        if (s.valid)
+            out.push_back({s.delta, s.coverage, s.status});
+    }
+    return out;
+}
+
+} // namespace berti

@@ -1,0 +1,207 @@
+#include "cpu/core.hh"
+
+namespace berti
+{
+
+Core::Core(const CoreConfig &config, const Cycle *clock_ptr,
+           unsigned core_id, TraceGenerator *generator, Cache *l1i_cache,
+           Cache *l1d_cache, TranslationUnit *tu)
+    : cfg(config), clock(clock_ptr), coreId(core_id), gen(generator),
+      l1i(l1i_cache), l1d(l1d_cache), translation(tu), branch(cfg.branch),
+      itlb(16, 4, 1)
+{}
+
+void
+Core::tick()
+{
+    ++stats.cycles;
+    retire();
+    issueMemory();
+    dispatch();
+    fetch();
+}
+
+void
+Core::retire()
+{
+    for (unsigned n = 0; n < cfg.retireWidth && !rob.empty(); ++n) {
+        if (!rob.front().done)
+            break;
+        rob.pop_front();
+        ++stats.instructions;
+    }
+}
+
+void
+Core::dispatch()
+{
+    for (unsigned n = 0; n < cfg.dispatchWidth; ++n) {
+        if (fetchBuffer.empty() || robFull())
+            return;
+        FetchedInstr &fi = fetchBuffer.front();
+        const TraceInstr &in = fi.instr;
+
+        // Address dependence: a pointer-chasing load cannot compute its
+        // address until the producing load completes.
+        if (fi.depLoadId && outstandingLoads.count(fi.depLoadId))
+            return;
+
+        RobEntry entry;
+        entry.id = fi.id;
+        entry.done = true;
+
+        if (in.isLoad()) {
+            ++stats.loads;
+            auto queueLoad = [&](Addr vaddr) {
+                auto tr = translation->translate(vaddr);
+                MemRequest req;
+                req.vLine = lineAddr(vaddr);
+                req.pLine = lineAddr(tr.paddr);
+                req.ip = in.ip;
+                req.type = AccessType::Load;
+                req.coreId = coreId;
+                req.instrId = fi.id;
+                req.client = this;
+                pendingAccesses.push_back({req, *clock + tr.latency,
+                                           false});
+                ++entry.pendingLoads;
+            };
+            queueLoad(in.load0);
+            if (in.load1 != kNoAddr)
+                queueLoad(in.load1);
+            entry.done = false;
+            outstandingLoads.insert(fi.id);
+        }
+        if (in.isStore()) {
+            ++stats.stores;
+            auto tr = translation->translate(in.store);
+            MemRequest req;
+            req.vLine = lineAddr(in.store);
+            req.pLine = lineAddr(tr.paddr);
+            req.ip = in.ip;
+            req.type = AccessType::Rfo;
+            req.coreId = coreId;
+            req.client = nullptr;  // stores complete post-retirement
+            pendingAccesses.push_back({req, *clock + tr.latency, true});
+        }
+
+        rob.push_back(entry);
+        fetchBuffer.pop_front();
+    }
+}
+
+void
+Core::issueMemory()
+{
+    unsigned loads = 0;
+    unsigned stores = 0;
+    for (auto it = pendingAccesses.begin(); it != pendingAccesses.end();) {
+        if (loads >= cfg.maxLoadsPerCycle && stores >= cfg.maxStoresPerCycle)
+            break;
+        if (it->readyCycle > *clock) {
+            ++it;
+            continue;
+        }
+        unsigned &count = it->isStore ? stores : loads;
+        unsigned limit =
+            it->isStore ? cfg.maxStoresPerCycle : cfg.maxLoadsPerCycle;
+        if (count >= limit) {
+            ++it;
+            continue;
+        }
+        if (!l1d->submitRead(it->req))
+            break;  // L1D read queue full: try again next cycle
+        ++count;
+        it = pendingAccesses.erase(it);
+    }
+}
+
+void
+Core::fetch()
+{
+    if (fetchStallUntil > *clock || fetchLinePending)
+        return;
+
+    for (unsigned n = 0; n < cfg.fetchWidth; ++n) {
+        if (fetchBuffer.size() >= cfg.fetchBufferSize)
+            return;
+
+        TraceInstr in = gen->next();
+
+        // Instruction-cache gate: a new instruction line must be present
+        // in the L1I before the instruction can enter the fetch buffer.
+        Addr v_line = lineAddr(in.ip);
+        if (v_line != fetchLine) {
+            Addr paddr = translation->pageTable().translate(in.ip);
+            if (!itlb.lookup(pageAddr(in.ip))) {
+                itlb.fill(pageAddr(in.ip));
+                fetchStallUntil = *clock + cfg.itlbMissLatency;
+            }
+            Addr p_line = lineAddr(paddr);
+            fetchLine = v_line;
+            if (!l1i->fastHit(p_line)) {
+                MemRequest req;
+                req.vLine = v_line;
+                req.pLine = p_line;
+                req.ip = in.ip;
+                req.type = AccessType::InstrFetch;
+                req.coreId = coreId;
+                req.client = this;
+                if (l1i->submitRead(req))
+                    fetchLinePending = true;
+                else
+                    fetchLine = kNoAddr;  // retry next cycle
+                // The instruction itself still enters the buffer below;
+                // subsequent fetches wait for the fill.
+            }
+        }
+
+        FetchedInstr fi;
+        fi.instr = in;
+        fi.id = nextInstrId++;
+        if (in.dependsOnPrevLoad)
+            fi.depLoadId = lastLoadId;
+        if (in.isLoad())
+            lastLoadId = fi.id;
+        fetchBuffer.push_back(fi);
+
+        if (in.isBranch) {
+            ++stats.branches;
+            bool predicted = branch.predict(in.ip);
+            branch.update(in.ip, in.taken);
+            if (predicted != in.taken) {
+                ++stats.mispredicts;
+                // Redirect after resolve: stall the front-end.
+                fetchStallUntil = *clock + cfg.mispredictPenalty;
+                return;
+            }
+        }
+        if (fetchLinePending)
+            return;
+    }
+}
+
+void
+Core::readDone(const MemRequest &req)
+{
+    if (req.type == AccessType::InstrFetch) {
+        fetchLinePending = false;
+        return;
+    }
+
+    // Load completion: find the ROB entry (loads complete roughly in
+    // order, so the scan terminates quickly in practice).
+    for (auto &e : rob) {
+        if (e.id == req.instrId) {
+            if (e.pendingLoads > 0)
+                --e.pendingLoads;
+            if (e.pendingLoads == 0) {
+                e.done = true;
+                outstandingLoads.erase(e.id);
+            }
+            return;
+        }
+    }
+}
+
+} // namespace berti

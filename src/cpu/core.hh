@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model in the ChampSim mould: a decoupled
+ * front-end (L1I-gated fetch with branch prediction), in-order dispatch
+ * into a ROB, loads issued to the L1D with address-translation latency,
+ * out-of-order completion and in-order retirement.
+ */
+
+#ifndef BERTI_CPU_CORE_HH
+#define BERTI_CPU_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "cpu/branch_predictor.hh"
+#include "mem/cache.hh"
+#include "sim/stats.hh"
+#include "trace/instr.hh"
+#include "vm/tlb.hh"
+
+namespace berti
+{
+
+struct CoreConfig
+{
+    unsigned robSize = 352;
+    unsigned fetchWidth = 6;
+    unsigned dispatchWidth = 6;
+    unsigned retireWidth = 4;
+    unsigned maxLoadsPerCycle = 2;   //!< L1D read ports
+    unsigned maxStoresPerCycle = 1;  //!< L1D write port
+    unsigned fetchBufferSize = 64;
+    Cycle mispredictPenalty = 15;
+    Cycle itlbMissLatency = 9;       //!< STLB latency + 1
+    BranchPredictor::Config branch;
+};
+
+/**
+ * One core. The owner ticks it once per cycle after ticking the memory
+ * hierarchy below it.
+ */
+class Core : public ReadClient
+{
+  public:
+    Core(const CoreConfig &cfg, const Cycle *clock, unsigned core_id,
+         TraceGenerator *gen, Cache *l1i, Cache *l1d,
+         TranslationUnit *translation);
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** Advance one cycle: retire, issue, dispatch, fetch. */
+    void tick();
+
+    // ReadClient: load and instruction-fetch completions from the L1s.
+    void readDone(const MemRequest &req) override;
+
+    CoreStats stats;
+
+  private:
+    struct RobEntry
+    {
+        std::uint64_t id = 0;
+        bool done = false;
+        std::uint8_t pendingLoads = 0;
+    };
+
+    struct FetchedInstr
+    {
+        TraceInstr instr;
+        std::uint64_t id = 0;
+        std::uint64_t depLoadId = 0;  //!< 0 = no load dependence
+    };
+
+    struct PendingAccess
+    {
+        MemRequest req;
+        Cycle readyCycle;  //!< after address translation
+        bool isStore;
+    };
+
+    void retire();
+    void dispatch();
+    void issueMemory();
+    void fetch();
+
+    bool robFull() const { return rob.size() >= cfg.robSize; }
+
+    CoreConfig cfg;
+    const Cycle *clock;
+    unsigned coreId;
+    TraceGenerator *gen;
+    Cache *l1i;
+    Cache *l1d;
+    TranslationUnit *translation;
+    BranchPredictor branch;
+    Tlb itlb;
+
+    std::deque<RobEntry> rob;
+    std::deque<FetchedInstr> fetchBuffer;
+    std::deque<PendingAccess> pendingAccesses;
+    std::unordered_set<std::uint64_t> outstandingLoads;
+
+    std::uint64_t nextInstrId = 1;
+    std::uint64_t lastLoadId = 0;      //!< program-order last load
+    Cycle fetchStallUntil = 0;
+    Addr fetchLine = kNoAddr;          //!< instruction line in flight/ready
+    bool fetchLinePending = false;     //!< waiting on an L1I fill
+};
+
+} // namespace berti
+
+#endif // BERTI_CPU_CORE_HH

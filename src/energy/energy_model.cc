@@ -1,0 +1,34 @@
+#include "energy/energy_model.hh"
+
+namespace berti
+{
+
+EnergyModel::EnergyModel(const EnergyParams &params) : p(params)
+{}
+
+EnergyBreakdown
+EnergyModel::evaluate(const RunStats &s) const
+{
+    auto cache_energy = [](const CacheStats &c, double tr, double tw,
+                           double dr, double dw) {
+        return (static_cast<double>(c.tagReads) * tr +
+                static_cast<double>(c.tagWrites) * tw +
+                static_cast<double>(c.dataReads) * dr +
+                static_cast<double>(c.dataWrites) * dw) / 1000.0;  // nJ
+    };
+
+    EnergyBreakdown out;
+    out.l1 = cache_energy(s.l1d, p.l1TagRead, p.l1TagWrite, p.l1DataRead,
+                          p.l1DataWrite) +
+             cache_energy(s.l1i, p.l1TagRead, p.l1TagWrite, p.l1DataRead,
+                          p.l1DataWrite);
+    out.l2 = cache_energy(s.l2, p.l2TagRead, p.l2TagWrite, p.l2DataRead,
+                          p.l2DataWrite);
+    out.llc = cache_energy(s.llc, p.llcTagRead, p.llcTagWrite,
+                           p.llcDataRead, p.llcDataWrite);
+    out.dram = (static_cast<double>(s.dram.reads) * p.dramRead +
+                static_cast<double>(s.dram.writes) * p.dramWrite) / 1000.0;
+    return out;
+}
+
+} // namespace berti

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Dynamic-energy model of the memory hierarchy. Per-access energies for
+ * tag/data reads and writes at each cache level and per-64B DRAM
+ * operation, in the spirit of CACTI-P at 22 nm plus the Micron DRAM
+ * power calculator (the tools the paper uses). The paper reports energy
+ * *normalised to no prefetching*, so relative consistency of these
+ * constants is what matters, not their absolute calibration.
+ */
+
+#ifndef BERTI_ENERGY_ENERGY_MODEL_HH
+#define BERTI_ENERGY_ENERGY_MODEL_HH
+
+#include "sim/stats.hh"
+
+namespace berti
+{
+
+/** Per-operation dynamic energies in picojoules. */
+struct EnergyParams
+{
+    // 48 KB L1D / 32 KB L1I class arrays.
+    double l1TagRead = 1.5;
+    double l1TagWrite = 1.7;
+    double l1DataRead = 18.0;
+    double l1DataWrite = 20.0;
+
+    // 512 KB L2.
+    double l2TagRead = 3.5;
+    double l2TagWrite = 4.0;
+    double l2DataRead = 75.0;
+    double l2DataWrite = 85.0;
+
+    // 2 MB LLC slice.
+    double llcTagRead = 8.0;
+    double llcTagWrite = 9.0;
+    double llcDataRead = 240.0;
+    double llcDataWrite = 260.0;
+
+    // DRAM, per 64 B transfer (activation amortised, open-page).
+    double dramRead = 15000.0;
+    double dramWrite = 15500.0;
+};
+
+/** Energy breakdown in nanojoules. */
+struct EnergyBreakdown
+{
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double llc = 0.0;
+    double dram = 0.0;
+
+    double total() const { return l1 + l2 + llc + dram; }
+};
+
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params = {});
+
+    /** Dynamic energy of a run, from the access counters. */
+    EnergyBreakdown evaluate(const RunStats &stats) const;
+
+  private:
+    EnergyParams p;
+};
+
+} // namespace berti
+
+#endif // BERTI_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,178 @@
+#include "harness/experiment.hh"
+
+#include <stdexcept>
+
+#include "prefetch/bingo.hh"
+#include "prefetch/bop.hh"
+#include "prefetch/ip_stride.hh"
+#include "prefetch/ipcp.hh"
+#include "prefetch/misb.hh"
+#include "prefetch/mlop.hh"
+#include "prefetch/next_line.hh"
+#include "prefetch/ppf.hh"
+#include "prefetch/pythia.hh"
+#include "prefetch/sms.hh"
+#include "prefetch/spp.hh"
+#include "prefetch/stream.hh"
+#include "prefetch/vldp.hh"
+
+namespace berti
+{
+
+namespace
+{
+
+PrefetcherFactory
+factoryFor(const std::string &name)
+{
+    if (name == "none" || name.empty())
+        return nullptr;
+    if (name == "ip-stride")
+        return [] { return std::make_unique<IpStridePrefetcher>(); };
+    if (name == "next-line")
+        return [] { return std::make_unique<NextLinePrefetcher>(); };
+    if (name == "bop")
+        return [] { return std::make_unique<BopPrefetcher>(); };
+    if (name == "mlop")
+        return [] { return std::make_unique<MlopPrefetcher>(); };
+    if (name == "ipcp")
+        return [] { return std::make_unique<IpcpPrefetcher>(); };
+    if (name == "berti")
+        return [] { return std::make_unique<BertiPrefetcher>(); };
+    if (name == "spp")
+        return [] { return std::make_unique<SppPrefetcher>(); };
+    if (name == "spp-ppf")
+        return [] { return std::make_unique<SppPpfPrefetcher>(); };
+    if (name == "bingo")
+        return [] { return std::make_unique<BingoPrefetcher>(); };
+    if (name == "vldp")
+        return [] { return std::make_unique<VldpPrefetcher>(); };
+    if (name == "misb")
+        return [] { return std::make_unique<MisbPrefetcher>(); };
+    if (name == "pythia")
+        return [] { return std::make_unique<PythiaPrefetcher>(); };
+    if (name == "sms")
+        return [] { return std::make_unique<SmsPrefetcher>(); };
+    if (name == "stream")
+        return [] { return std::make_unique<StreamPrefetcher>(); };
+    throw std::out_of_range("unknown prefetcher: " + name);
+}
+
+std::uint64_t
+bitsOf(const PrefetcherFactory &f)
+{
+    return f ? f()->storageBits() : 0;
+}
+
+} // namespace
+
+PrefetcherSpec
+makeSpec(const std::string &combo)
+{
+    PrefetcherSpec spec;
+    spec.name = combo;
+    std::string l1_name = combo;
+    std::string l2_name;
+    auto plus = combo.find('+');
+    if (plus != std::string::npos) {
+        l1_name = combo.substr(0, plus);
+        l2_name = combo.substr(plus + 1);
+    }
+    spec.l1d = factoryFor(l1_name);
+    spec.l2 = factoryFor(l2_name);
+    spec.storageBits = bitsOf(spec.l1d) + bitsOf(spec.l2);
+    return spec;
+}
+
+PrefetcherSpec
+makeBertiSpec(const BertiConfig &cfg, const std::string &label)
+{
+    PrefetcherSpec spec;
+    spec.name = label;
+    spec.l1d = [cfg] { return std::make_unique<BertiPrefetcher>(cfg); };
+    spec.storageBits = bitsOf(spec.l1d);
+    return spec;
+}
+
+SimResult
+simulate(const Workload &workload, const PrefetcherSpec &spec,
+         const SimParams &params)
+{
+    auto gen = workload.make();
+    MachineConfig cfg = MachineConfig::sunnyCove(1);
+    cfg.dram.mtps = params.dramMtps;
+    cfg.l1dPrefetcher = spec.l1d;
+    cfg.l2Prefetcher = spec.l2;
+
+    Machine machine(cfg, {gen.get()});
+    machine.run(params.warmupInstructions);
+    RunStats start = machine.liveStats(0);
+    machine.run(params.measureInstructions);
+    RunStats end = machine.liveStats(0);
+
+    SimResult r;
+    r.roi = end.diff(start);
+    r.ipc = r.roi.core.ipc();
+    r.energy = EnergyModel{}.evaluate(r.roi);
+    return r;
+}
+
+std::vector<SimResult>
+simulateMix(const std::vector<Workload> &mix, const PrefetcherSpec &spec,
+            const SimParams &params)
+{
+    MachineConfig cfg =
+        MachineConfig::sunnyCove(static_cast<unsigned>(mix.size()));
+    cfg.dram.mtps = params.dramMtps;
+    cfg.l1dPrefetcher = spec.l1d;
+    cfg.l2Prefetcher = spec.l2;
+
+    std::vector<std::unique_ptr<TraceGenerator>> gens;
+    std::vector<TraceGenerator *> gen_ptrs;
+    for (const auto &w : mix) {
+        gens.push_back(w.make());
+        gen_ptrs.push_back(gens.back().get());
+    }
+
+    Machine machine(cfg, gen_ptrs);
+    machine.run(params.warmupInstructions);
+    std::vector<RunStats> start;
+    for (unsigned c = 0; c < mix.size(); ++c)
+        start.push_back(machine.coreSnapshot(c));
+    machine.run(params.measureInstructions);
+
+    std::vector<SimResult> out;
+    for (unsigned c = 0; c < mix.size(); ++c) {
+        SimResult r;
+        r.roi = machine.coreSnapshot(c).diff(start[c]);
+        r.ipc = r.roi.core.ipc();
+        r.energy = EnergyModel{}.evaluate(r.roi);
+        out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<SimResult>
+runSuite(const std::vector<Workload> &workloads,
+         const PrefetcherSpec &spec, const SimParams &params)
+{
+    std::vector<SimResult> out;
+    out.reserve(workloads.size());
+    for (const auto &w : workloads)
+        out.push_back(simulate(w, spec, params));
+    return out;
+}
+
+double
+speedupGeomean(const std::vector<SimResult> &test,
+               const std::vector<SimResult> &baseline)
+{
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < test.size() && i < baseline.size(); ++i) {
+        if (baseline[i].ipc > 0.0)
+            speedups.push_back(test[i].ipc / baseline[i].ipc);
+    }
+    return geomean(speedups.data(), speedups.size());
+}
+
+} // namespace berti

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Experiment harness: named prefetcher configurations (Table III), the
+ * single-core and multi-core simulation drivers, and speedup helpers.
+ * Every bench binary is a thin loop over these calls.
+ */
+
+#ifndef BERTI_HARNESS_EXPERIMENT_HH
+#define BERTI_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/berti.hh"
+#include "energy/energy_model.hh"
+#include "harness/machine.hh"
+#include "trace/registry.hh"
+
+namespace berti
+{
+
+/**
+ * A named L1D(+L2) prefetcher combination, e.g. "berti", "ip-stride",
+ * "mlop+bingo", "none". The storage figure covers the prefetcher
+ * structures only (Figure 7's x axis).
+ */
+struct PrefetcherSpec
+{
+    std::string name;
+    PrefetcherFactory l1d;   //!< null = none
+    PrefetcherFactory l2;    //!< null = none
+    std::uint64_t storageBits = 0;
+};
+
+/**
+ * Build a spec by name. L1D names: none, ip-stride, next-line, bop,
+ * mlop, ipcp, berti. L2 names (after '+'): spp, spp-ppf, bingo, vldp,
+ * ipcp, misb. Examples: "berti", "mlop+bingo", "ipcp+ipcp".
+ */
+PrefetcherSpec makeSpec(const std::string &combo);
+
+/** Berti with a custom configuration (sensitivity benches). */
+PrefetcherSpec makeBertiSpec(const BertiConfig &cfg,
+                             const std::string &label = "berti");
+
+/** Result of one single-core simulation region of interest. */
+struct SimResult
+{
+    RunStats roi;
+    double ipc = 0.0;
+    EnergyBreakdown energy;
+};
+
+/** Simulation lengths. Small by ChampSim standards but the generators
+ *  are stationary, so measurements stabilise quickly. */
+struct SimParams
+{
+    std::uint64_t warmupInstructions = 50000;
+    std::uint64_t measureInstructions = 250000;
+    unsigned dramMtps = 6400;
+};
+
+/** Run one workload on the Table II machine with the given spec. */
+SimResult simulate(const Workload &workload, const PrefetcherSpec &spec,
+                   const SimParams &params = {});
+
+/** Multi-core: one workload per core, shared LLC/DRAM. */
+std::vector<SimResult> simulateMix(const std::vector<Workload> &mix,
+                                   const PrefetcherSpec &spec,
+                                   const SimParams &params = {});
+
+/** results[i] = simulate(workloads[i], spec). */
+std::vector<SimResult> runSuite(const std::vector<Workload> &workloads,
+                                const PrefetcherSpec &spec,
+                                const SimParams &params = {});
+
+/** Geometric-mean speedup of test over baseline, element-wise. */
+double speedupGeomean(const std::vector<SimResult> &test,
+                      const std::vector<SimResult> &baseline);
+
+} // namespace berti
+
+#endif // BERTI_HARNESS_EXPERIMENT_HH

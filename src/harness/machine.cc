@@ -1,0 +1,170 @@
+#include "harness/machine.hh"
+
+#include <cassert>
+
+namespace berti
+{
+
+MachineConfig
+MachineConfig::sunnyCove(unsigned cores)
+{
+    MachineConfig m;
+    m.cores = cores;
+
+    m.l1i.name = "L1I";
+    m.l1i.level = 1;
+    m.l1i.sets = 64;       // 32 KB, 8-way
+    m.l1i.ways = 8;
+    m.l1i.latency = 4;
+    m.l1i.mshrs = 8;
+    m.l1i.rqSize = 16;
+    m.l1i.repl = ReplKind::Lru;
+    m.l1i.trainOnInstrFetch = true;
+
+    m.l1d.name = "L1D";
+    m.l1d.level = 1;
+    m.l1d.sets = 64;       // 48 KB, 12-way
+    m.l1d.ways = 12;
+    m.l1d.latency = 5;
+    m.l1d.mshrs = 16;
+    m.l1d.rqSize = 32;
+    m.l1d.pqSize = 16;
+    m.l1d.repl = ReplKind::Lru;
+    m.l1d.isL1d = true;
+
+    m.l2.name = "L2";
+    m.l2.level = 2;
+    m.l2.sets = 1024;      // 512 KB, 8-way
+    m.l2.ways = 8;
+    m.l2.latency = 10;
+    m.l2.mshrs = 32;
+    m.l2.rqSize = 48;
+    m.l2.pqSize = 32;
+    m.l2.repl = ReplKind::Srrip;
+
+    m.llc.name = "LLC";
+    m.llc.level = 3;
+    m.llc.sets = 2048;     // 2 MB/core, 16-way; scaled at build
+    m.llc.ways = 16;
+    m.llc.latency = 20;
+    m.llc.mshrs = 64;      // per core; scaled at build
+    m.llc.rqSize = 64;
+    m.llc.repl = ReplKind::Drrip;
+
+    m.dram = DramConfig{};  // DDR5-6400, one channel per 4 cores
+    return m;
+}
+
+Machine::Machine(const MachineConfig &config,
+                 std::vector<TraceGenerator *> generators)
+    : cfg(config)
+{
+    assert(generators.size() == cfg.cores);
+
+    dram = std::make_unique<Dram>(cfg.dram, &clock);
+
+    CacheConfig llc_cfg = cfg.llc;
+    llc_cfg.sets *= cfg.cores;     // 2 MB and 64 MSHRs per core
+    llc_cfg.mshrs *= cfg.cores;
+    llc_cfg.rqSize *= cfg.cores;
+    llc = std::make_unique<Cache>(llc_cfg, &clock);
+    llc->setLower(dram.get());
+
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        auto node = std::make_unique<CoreNode>();
+
+        TranslationUnit::Config tlb_cfg = cfg.tlb;
+        tlb_cfg.pageSeed = cfg.tlb.pageSeed + 0x1000ull * c;
+        node->tu = std::make_unique<TranslationUnit>(tlb_cfg);
+
+        node->l1iCache = std::make_unique<Cache>(cfg.l1i, &clock);
+        node->l1dCache = std::make_unique<Cache>(cfg.l1d, &clock);
+        node->l2Cache = std::make_unique<Cache>(cfg.l2, &clock);
+
+        node->l1iCache->setLower(node->l2Cache.get());
+        node->l1dCache->setLower(node->l2Cache.get());
+        node->l2Cache->setLower(llc.get());
+        node->l1dCache->setTranslation(node->tu.get());
+
+        if (cfg.l1dPrefetcher)
+            node->l1dCache->setPrefetcher(cfg.l1dPrefetcher());
+        if (cfg.l2Prefetcher)
+            node->l2Cache->setPrefetcher(cfg.l2Prefetcher());
+        if (cfg.l1iPrefetcher)
+            node->l1iCache->setPrefetcher(cfg.l1iPrefetcher());
+
+        node->cpu = std::make_unique<Core>(
+            cfg.core, &clock, c, generators[c], node->l1iCache.get(),
+            node->l1dCache.get(), node->tu.get());
+
+        nodes.push_back(std::move(node));
+    }
+    snapshots.resize(cfg.cores);
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        snapshots[c] = liveStats(c);
+}
+
+void
+Machine::tick()
+{
+    ++clock;
+    dram->tick();
+    llc->tick();
+    for (auto &n : nodes) {
+        n->l2Cache->tick();
+        n->l1dCache->tick();
+        n->l1iCache->tick();
+        n->cpu->tick();
+    }
+}
+
+void
+Machine::run(std::uint64_t target_instructions)
+{
+    std::vector<std::uint64_t> targets(cfg.cores);
+    std::vector<bool> done(cfg.cores, false);
+    for (unsigned c = 0; c < cfg.cores; ++c)
+        targets[c] = nodes[c]->cpu->stats.instructions +
+                     target_instructions;
+
+    unsigned remaining = cfg.cores;
+    // Hard safety bound so a configuration bug cannot hang a bench.
+    std::uint64_t max_cycles =
+        clock + 2000ull * target_instructions + 1000000ull;
+
+    while (remaining > 0 && clock < max_cycles) {
+        tick();
+        for (unsigned c = 0; c < cfg.cores; ++c) {
+            if (!done[c] &&
+                nodes[c]->cpu->stats.instructions >= targets[c]) {
+                done[c] = true;
+                snapshots[c] = liveStats(c);
+                --remaining;
+            }
+        }
+    }
+}
+
+RunStats
+Machine::liveStats(unsigned c) const
+{
+    RunStats s;
+    s.core = nodes[c]->cpu->stats;
+    s.core.cycles = clock;  // wall-clock cycles of the machine
+    s.l1i = nodes[c]->l1iCache->stats;
+    s.l1d = nodes[c]->l1dCache->stats;
+    s.l2 = nodes[c]->l2Cache->stats;
+    s.llc = llc->stats;
+    s.dtlb = nodes[c]->tu->dtlbStats();
+    s.stlb = nodes[c]->tu->stlbStats();
+    s.dram = dram->stats;
+    return s;
+}
+
+RunStats
+Machine::coreSnapshot(unsigned c) const
+{
+    return snapshots[c];
+}
+
+} // namespace berti

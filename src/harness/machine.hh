@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Machine: assembles cores, private cache hierarchies, a shared LLC and
+ * DRAM into the Table II (Sunny Cove-like) system, and steps the whole
+ * thing cycle by cycle.
+ */
+
+#ifndef BERTI_HARNESS_MACHINE_HH
+#define BERTI_HARNESS_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "sim/stats.hh"
+#include "trace/instr.hh"
+#include "vm/tlb.hh"
+
+namespace berti
+{
+
+/** Factory for per-core prefetcher instances. */
+using PrefetcherFactory = std::function<std::unique_ptr<Prefetcher>()>;
+
+struct MachineConfig
+{
+    unsigned cores = 1;
+    CoreConfig core;
+    CacheConfig l1i;
+    CacheConfig l1d;
+    CacheConfig l2;
+    CacheConfig llc;      //!< sized per core at build time
+    DramConfig dram;
+    TranslationUnit::Config tlb;
+    PrefetcherFactory l1dPrefetcher;  //!< null = no L1D prefetcher
+    PrefetcherFactory l2Prefetcher;   //!< null = no L2 prefetcher
+    PrefetcherFactory l1iPrefetcher;  //!< null = no L1I prefetcher
+
+    /**
+     * The paper's baseline system (Table II): 352-entry ROB 6-issue
+     * 4-retire core; 32 KB L1I; 48 KB 12-way 5-cycle L1D with 16 MSHRs;
+     * 512 KB 8-way 10-cycle SRRIP L2; 2 MB/core 16-way 20-cycle DRRIP
+     * LLC; one DDR5-6400 channel per 4 cores.
+     */
+    static MachineConfig sunnyCove(unsigned cores = 1);
+};
+
+class Machine
+{
+  public:
+    /**
+     * Build the machine. generators.size() must equal cfg.cores; the
+     * pointers must outlive the Machine.
+     */
+    Machine(const MachineConfig &cfg,
+            std::vector<TraceGenerator *> generators);
+
+    /**
+     * Run until every core has retired at least target_instructions
+     * *more* instructions than at call time. Finished cores keep
+     * executing (their trace replays), as in the paper's multi-core
+     * methodology; per-core statistics snapshots are taken the moment
+     * each core reaches its target.
+     */
+    void run(std::uint64_t target_instructions);
+
+    /** Per-core statistics snapshot taken when the core hit its target
+     *  in the most recent run() (or live stats before any run). */
+    RunStats coreSnapshot(unsigned core_id) const;
+
+    /** Live statistics right now. */
+    RunStats liveStats(unsigned core_id) const;
+
+    Cycle cycle() const { return clock; }
+
+    Cache &l1d(unsigned core_id) { return *nodes[core_id]->l1dCache; }
+    Cache &l2(unsigned core_id) { return *nodes[core_id]->l2Cache; }
+    Cache &sharedLlc() { return *llc; }
+    Core &core(unsigned core_id) { return *nodes[core_id]->cpu; }
+    TranslationUnit &translation(unsigned core_id)
+    {
+        return *nodes[core_id]->tu;
+    }
+
+  private:
+    struct CoreNode
+    {
+        std::unique_ptr<TranslationUnit> tu;
+        std::unique_ptr<Cache> l1iCache;
+        std::unique_ptr<Cache> l1dCache;
+        std::unique_ptr<Cache> l2Cache;
+        std::unique_ptr<Core> cpu;
+    };
+
+    MachineConfig cfg;
+    Cycle clock = 0;
+    std::unique_ptr<Dram> dram;
+    std::unique_ptr<Cache> llc;
+    std::vector<std::unique_ptr<CoreNode>> nodes;
+    std::vector<RunStats> snapshots;
+
+    void tick();
+};
+
+} // namespace berti
+
+#endif // BERTI_HARNESS_MACHINE_HH

@@ -1,0 +1,540 @@
+#include "mem/cache.hh"
+
+#include <cassert>
+
+#include "vm/tlb.hh"
+
+namespace berti
+{
+
+Cache::Cache(const CacheConfig &config, const Cycle *clock_ptr)
+    : cfg(config), clock(clock_ptr),
+      pf(std::make_unique<NoPrefetcher>()),
+      repl(makeReplPolicy(cfg.repl, cfg.sets, cfg.ways)),
+      lines(static_cast<std::size_t>(cfg.sets) * cfg.ways),
+      mshr(cfg.mshrs)
+{
+    pf->bind(this);
+}
+
+Cache::~Cache() = default;
+
+void
+Cache::setPrefetcher(std::unique_ptr<Prefetcher> prefetcher)
+{
+    pf = prefetcher ? std::move(prefetcher)
+                    : std::make_unique<NoPrefetcher>();
+    pf->bind(this);
+}
+
+Cache::Line *
+Cache::findLine(Addr p_line)
+{
+    std::size_t base = static_cast<std::size_t>(setIndex(p_line)) * cfg.ways;
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (lines[base + w].valid && lines[base + w].pLine == p_line)
+            return &lines[base + w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr p_line) const
+{
+    return const_cast<Cache *>(this)->findLine(p_line);
+}
+
+Cache::MshrEntry *
+Cache::findMshr(Addr p_line)
+{
+    for (auto &e : mshr) {
+        if (e.valid && e.pLine == p_line)
+            return &e;
+    }
+    return nullptr;
+}
+
+Cache::MshrEntry *
+Cache::allocMshr()
+{
+    for (auto &e : mshr) {
+        if (!e.valid) {
+            e = MshrEntry{};
+            e.valid = true;
+            ++mshrUsed;
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+bool
+Cache::submitRead(MemRequest req)
+{
+    if (rq.size() >= cfg.rqSize)
+        return false;
+    req.enqueueCycle = *clock;
+    rq.push_back(req);
+    return true;
+}
+
+void
+Cache::submitWriteback(Addr p_line)
+{
+    // Soft capacity: writebacks are never refused to keep the fill path
+    // deadlock-free; sizes beyond wqSize only happen in short bursts.
+    wq.push_back(p_line);
+}
+
+bool
+Cache::issuePrefetch(Addr line_addr, FillLevel level)
+{
+    MemRequest req;
+    req.type = AccessType::Prefetch;
+    req.fillLevel = level;
+    req.enqueueCycle = *clock;
+
+    // Deduplicate against in-flight prefetch-queue entries before even
+    // translating (ChampSim merges same-address PQ inserts the same way).
+    for (const auto &queued : pq) {
+        if ((cfg.isL1d ? queued.vLine : queued.pLine) == line_addr)
+            return true;
+    }
+
+    if (cfg.isL1d) {
+        // Virtual request: translate through the STLB; drop on miss.
+        req.vLine = line_addr;
+        Addr paddr = 0;
+        assert(translation && "L1D prefetching requires a TLB");
+        if (!translation->prefetchTranslate(lineToByte(line_addr), paddr)) {
+            ++stats.prefetchDroppedTlb;
+            return false;
+        }
+        req.pLine = lineAddr(paddr);
+    } else {
+        req.pLine = line_addr;
+    }
+
+    if (pq.size() >= cfg.pqSize) {
+        ++stats.prefetchDroppedFull;
+        return false;
+    }
+    pq.push_back(req);
+    ++stats.prefetchIssued;
+    return true;
+}
+
+double
+Cache::mshrOccupancy() const
+{
+    return static_cast<double>(mshrUsed) / static_cast<double>(cfg.mshrs);
+}
+
+bool
+Cache::fastHit(Addr p_line)
+{
+    Line *l = findLine(p_line);
+    if (!l)
+        return false;
+    ++stats.demandAccesses;
+    ++stats.demandHits;
+    ++stats.tagReads;
+    ++stats.dataReads;
+    Prefetcher::AccessInfo info;
+    info.pLine = p_line;
+    info.vLine = l->vLine;
+    info.type = AccessType::InstrFetch;
+    info.hit = true;
+    if (l->prefetched && !l->pfUsed) {
+        l->pfUsed = true;
+        ++stats.prefetchUseful;
+        info.firstHitOnPrefetch = true;
+    }
+    repl->onHit(setIndex(p_line),
+                static_cast<unsigned>((l - lines.data()) % cfg.ways));
+    if (cfg.trainOnInstrFetch)
+        pf->onAccess(info);
+    return true;
+}
+
+bool
+Cache::probe(Addr p_line) const
+{
+    return findLine(p_line) != nullptr;
+}
+
+bool
+Cache::probeDirty(Addr p_line) const
+{
+    const Line *l = findLine(p_line);
+    return l && l->dirty;
+}
+
+void
+Cache::tick()
+{
+    processWrites();
+    processReads();
+    processPrefetches();
+    retryUnsentMshrs();
+    pf->tick();
+}
+
+void
+Cache::processWrites()
+{
+    for (unsigned n = 0; n < cfg.maxWritesPerCycle && !wq.empty(); ++n) {
+        Addr p_line = wq.front();
+        wq.pop_front();
+        ++stats.tagReads;
+        if (Line *l = findLine(p_line)) {
+            l->dirty = true;
+            ++stats.dataWrites;
+            repl->onHit(setIndex(p_line),
+                        static_cast<unsigned>(
+                            (l - lines.data()) % cfg.ways));
+        } else {
+            // Non-inclusive write-allocate: the upper level evicted a
+            // full dirty line, install it here without fetching below.
+            fillLine(p_line, kNoAddr, true, false);
+        }
+    }
+}
+
+void
+Cache::processReads()
+{
+    unsigned done = 0;
+    while (done < cfg.maxReadsPerCycle && !rq.empty()) {
+        MemRequest &req = rq.front();
+        if (req.enqueueCycle + cfg.latency > *clock)
+            break;  // models the tag/data lookup latency
+        if (!handleRead(req))
+            break;  // head-of-line blocking on MSHR/lower pressure
+        rq.pop_front();
+        ++done;
+    }
+}
+
+void
+Cache::processPrefetches()
+{
+    unsigned done = 0;
+    while (done < cfg.maxPrefetchesPerCycle && !pq.empty()) {
+        MemRequest &req = pq.front();
+        if (req.enqueueCycle + cfg.latency > *clock)
+            break;
+        if (!handlePrefetch(req))
+            break;
+        pq.pop_front();
+        ++done;
+    }
+}
+
+bool
+Cache::handleRead(MemRequest &req)
+{
+    // NOTE: statistics are counted only on success exits; a false
+    // return re-presents the same request next cycle (head-of-line
+    // blocking) and must be side-effect free.
+    bool demand = isDemand(req.type);
+
+    if (Line *l = findLine(req.pLine)) {
+        // ------------------------------------------------------- hit
+        ++stats.tagReads;
+        unsigned way = static_cast<unsigned>((l - lines.data()) % cfg.ways);
+        repl->onHit(setIndex(req.pLine), way);
+        if (demand) {
+            ++stats.demandAccesses;
+            ++stats.demandHits;
+            if (req.type == AccessType::Rfo) {
+                l->dirty = true;
+                ++stats.dataWrites;
+            } else {
+                ++stats.dataReads;
+            }
+
+            Prefetcher::AccessInfo info;
+            info.vLine = l->vLine != kNoAddr ? l->vLine : req.vLine;
+            info.pLine = req.pLine;
+            info.ip = req.ip;
+            info.type = req.type;
+            info.hit = true;
+            if (l->prefetched && !l->pfUsed) {
+                l->pfUsed = true;
+                ++stats.prefetchUseful;
+                info.firstHitOnPrefetch = true;
+                info.prefetchLatency = l->pfLatency;
+                l->pfLatency = 0;  // reset after the training search
+            }
+            if (req.type == AccessType::Load ||
+                req.type == AccessType::Rfo ||
+                (cfg.trainOnInstrFetch &&
+                 req.type == AccessType::InstrFetch)) {
+                pf->onAccess(info);
+            }
+        } else {
+            // An in-flight prefetch from above found the line here.
+            ++stats.dataReads;
+        }
+        if (req.client)
+            req.client->readDone(req);
+        return true;
+    }
+
+    // ----------------------------------------------------------- miss
+    if (req.type == AccessType::Prefetch &&
+        static_cast<unsigned>(req.fillLevel) > cfg.level) {
+        // Fill target is below this level: pass through without MSHR.
+        MemRequest fwd = req;
+        fwd.client = nullptr;
+        if (!lower->submitRead(fwd))
+            return false;
+        ++stats.tagReads;
+        ++stats.requestsBelow;
+        return true;
+    }
+
+    if (MshrEntry *e = findMshr(req.pLine)) {
+        // Merge into the outstanding miss.
+        // Merges count as accesses but not as extra misses: the miss is
+        // attributed once, to the MSHR-allocating access (ChampSim
+        // merges same-line requests in the queues the same way).
+        ++stats.tagReads;
+        if (demand) {
+            ++stats.demandAccesses;
+            ++stats.demandMshrMerged;
+            if (e->isPrefetch && !e->hadDemand) {
+                ++stats.prefetchLate;
+                e->ip = req.ip;
+                e->vLine = req.vLine;
+            }
+            e->hadDemand = true;
+            if (req.type == AccessType::Rfo)
+                e->wantsDirty = true;
+        }
+        if (req.client || req.instrId)
+            e->waiters.push_back(req);
+        // No prefetcher hook for merges: ChampSim coalesces same-line
+        // demands in the read queue, so the prefetcher observes one
+        // training event per missing line, not one per load.
+        return true;
+    }
+
+    MshrEntry *e = allocMshr();
+    if (!e) {
+        // Ownerless in-flight prefetches (nobody above waits on them)
+        // are demoted below instead of head-of-line blocking the RQ.
+        if (req.type == AccessType::Prefetch && !req.client &&
+            cfg.level < 3) {
+            MemRequest fwd = req;
+            fwd.fillLevel = static_cast<FillLevel>(cfg.level + 1);
+            if (!lower->submitRead(fwd))
+                return false;
+            ++stats.tagReads;
+            ++stats.requestsBelow;
+            return true;
+        }
+        return false;  // retried next cycle
+    }
+
+    ++stats.tagReads;
+    if (demand) {
+        ++stats.demandAccesses;
+        ++stats.demandMisses;
+    }
+    e->pLine = req.pLine;
+    e->vLine = req.vLine;
+    e->ip = req.ip;
+    e->isPrefetch = req.type == AccessType::Prefetch;
+    e->hadDemand = demand;
+    e->wantsDirty = req.type == AccessType::Rfo;
+    e->fillLevel = req.fillLevel;
+    e->ts = e->isPrefetch ? req.enqueueCycle : *clock;
+    if (req.client || req.instrId)
+        e->waiters.push_back(req);
+
+    MemRequest fwd = req;
+    fwd.client = this;
+    e->fwd = fwd;
+    e->sentBelow = lower->submitRead(fwd);
+    if (e->sentBelow)
+        ++stats.requestsBelow;
+
+    if (demand && (req.type == AccessType::Load ||
+                   req.type == AccessType::Rfo ||
+                   (cfg.trainOnInstrFetch &&
+                    req.type == AccessType::InstrFetch))) {
+        Prefetcher::AccessInfo info;
+        info.vLine = req.vLine;
+        info.pLine = req.pLine;
+        info.ip = req.ip;
+        info.type = req.type;
+        info.hit = false;
+        pf->onAccess(info);
+    }
+    return true;
+}
+
+bool
+Cache::handlePrefetch(MemRequest &req)
+{
+    if (findLine(req.pLine)) {
+        ++stats.tagReads;
+        return true;  // already present: drop silently
+    }
+    if (findMshr(req.pLine) && static_cast<unsigned>(req.fillLevel) <=
+                                   cfg.level) {
+        ++stats.tagReads;
+        return true;  // already being fetched
+    }
+
+    if (static_cast<unsigned>(req.fillLevel) > cfg.level) {
+        // e.g. Berti L2-fill prefetch issued from the L1D PQ: hand it to
+        // the level below; it allocates its own MSHR there.
+        MemRequest fwd = req;
+        fwd.client = nullptr;
+        if (!lower->submitRead(fwd))
+            return false;
+        ++stats.tagReads;
+        ++stats.requestsBelow;
+        return true;
+    }
+
+    MshrEntry *e = allocMshr();
+    if (!e) {
+        // MSHRs exhausted by demand misses. Rather than head-of-line
+        // blocking the PQ behind demand pressure, demote the prefetch
+        // one level (fill below instead) — the same orchestration idea
+        // as Berti's MSHR-occupancy watermark.
+        if (cfg.level >= 3)
+            return false;
+        MemRequest fwd = req;
+        fwd.client = nullptr;
+        fwd.fillLevel = static_cast<FillLevel>(cfg.level + 1);
+        if (!lower->submitRead(fwd))
+            return false;
+        ++stats.tagReads;
+        ++stats.requestsBelow;
+        return true;
+    }
+
+    ++stats.tagReads;
+    e->pLine = req.pLine;
+    e->vLine = req.vLine;
+    e->ip = req.ip;
+    e->isPrefetch = true;
+    e->fillLevel = req.fillLevel;
+    e->ts = req.enqueueCycle;  // PQ-insert timestamp (paper section III-C)
+
+    MemRequest fwd = req;
+    fwd.client = this;
+    e->fwd = fwd;
+    e->sentBelow = lower->submitRead(fwd);
+    if (e->sentBelow)
+        ++stats.requestsBelow;
+    return true;
+}
+
+void
+Cache::retryUnsentMshrs()
+{
+    for (auto &e : mshr) {
+        if (e.valid && !e.sentBelow) {
+            e.sentBelow = lower->submitRead(e.fwd);
+            if (e.sentBelow)
+                ++stats.requestsBelow;
+        }
+    }
+}
+
+Cache::Line &
+Cache::fillLine(Addr p_line, Addr v_line, bool dirty, bool prefetched)
+{
+    unsigned set = setIndex(p_line);
+    std::size_t base = static_cast<std::size_t>(set) * cfg.ways;
+
+    // Prefer an invalid way.
+    lastEvictedPLine = kNoAddr;
+    lastEvictedUnusedPf = false;
+    unsigned way = cfg.ways;
+    for (unsigned w = 0; w < cfg.ways; ++w) {
+        if (!lines[base + w].valid) {
+            way = w;
+            break;
+        }
+    }
+    if (way == cfg.ways) {
+        way = repl->victim(set);
+        Line &victim = lines[base + way];
+        if (victim.dirty) {
+            lower->submitWriteback(victim.pLine);
+            ++stats.writebacks;
+        }
+        lastEvictedPLine = victim.pLine;
+        if (victim.prefetched && !victim.pfUsed) {
+            ++stats.prefetchUseless;
+            lastEvictedUnusedPf = true;
+        }
+    }
+
+    Line &l = lines[base + way];
+    l.pLine = p_line;
+    l.vLine = v_line;
+    l.valid = true;
+    l.dirty = dirty;
+    l.prefetched = prefetched;
+    l.pfUsed = false;
+    l.pfLatency = 0;
+    repl->onFill(set, way, prefetched);
+    ++stats.fills;
+    ++stats.tagWrites;
+    ++stats.dataWrites;
+    return l;
+}
+
+void
+Cache::readDone(const MemRequest &req)
+{
+    MshrEntry *e = findMshr(req.pLine);
+    if (!e)
+        return;  // pass-through request; nothing waits here
+
+    // Raw fetch latency; the consumer (e.g. Berti) applies its own
+    // latency-counter width and overflow-to-zero semantics.
+    Cycle latency = *clock - e->ts;
+    stats.fillLatencySum += latency;
+    ++stats.fillLatencyCount;
+
+    bool fill_prefetched = e->isPrefetch && !e->hadDemand;
+    Line &l = fillLine(e->pLine, e->vLine, e->wantsDirty, fill_prefetched);
+    if (e->isPrefetch) {
+        ++stats.prefetchFills;
+        if (e->hadDemand)
+            ++stats.prefetchUseful;  // late but useful
+        else
+            l.pfLatency = latency;   // kept for hit-time training
+    }
+
+    Prefetcher::FillInfo info;
+    info.vLine = e->vLine;
+    info.pLine = e->pLine;
+    info.ip = e->ip;
+    info.byPrefetch = e->isPrefetch;
+    info.hadDemandWaiter = e->hadDemand;
+    info.latency = latency;
+    info.evictedPLine = lastEvictedPLine;
+    info.evictedUnusedPrefetch = lastEvictedUnusedPf;
+    pf->onFill(info);
+
+    // Wake every waiter (cores and upper caches).
+    std::vector<MemRequest> waiters = std::move(e->waiters);
+    e->valid = false;
+    --mshrUsed;
+    for (auto &w : waiters) {
+        if (w.client)
+            w.client->readDone(w);
+    }
+}
+
+} // namespace berti

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Generic set-associative, non-inclusive cache level with MSHRs, read /
+ * write / prefetch queues, bandwidth limits and prefetcher hook points.
+ * Instances of this one class model L1I, L1D, L2 and the LLC.
+ */
+
+#ifndef BERTI_MEM_CACHE_HH
+#define BERTI_MEM_CACHE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/replacement.hh"
+#include "mem/request.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace berti
+{
+
+class TranslationUnit;
+
+/** Anything a cache can forward requests to (a lower cache or DRAM). */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /** Forward a read-type request. @return false if the queue is full. */
+    virtual bool submitRead(MemRequest req) = 0;
+
+    /** Forward a dirty line eviction. Always accepted (soft capacity). */
+    virtual void submitWriteback(Addr p_line) = 0;
+};
+
+struct CacheConfig
+{
+    std::string name = "cache";
+    unsigned level = 1;       //!< 1 = L1, 2 = L2, 3 = LLC
+    unsigned sets = 64;
+    unsigned ways = 8;
+    Cycle latency = 5;        //!< tag+data lookup latency
+    unsigned mshrs = 16;
+    unsigned rqSize = 32;
+    unsigned pqSize = 16;
+    unsigned wqSize = 32;
+    unsigned maxReadsPerCycle = 2;      //!< RQ lookups per cycle
+    unsigned maxPrefetchesPerCycle = 1; //!< PQ lookups per cycle
+    unsigned maxWritesPerCycle = 2;     //!< WQ drains per cycle
+    ReplKind repl = ReplKind::Lru;
+    bool isL1d = false;       //!< virtual-address prefetching + metadata
+    /** Invoke the prefetcher on InstrFetch accesses (L1I prefetching). */
+    bool trainOnInstrFetch = false;
+};
+
+/**
+ * One cache level. Cycle-stepped: the owner calls tick() once per core
+ * cycle, after ticking the level below it so responses propagate upward
+ * within a cycle in the right order.
+ */
+class Cache : public MemLevel, public ReadClient, public PrefetchPort
+{
+  public:
+    Cache(const CacheConfig &cfg, const Cycle *clock);
+    ~Cache() override;
+
+    Cache(const Cache &) = delete;
+    Cache &operator=(const Cache &) = delete;
+
+    void setLower(MemLevel *lower_level) { lower = lower_level; }
+
+    /** L1D only: STLB used to translate virtual prefetch requests. */
+    void setTranslation(TranslationUnit *tu) { translation = tu; }
+
+    void setPrefetcher(std::unique_ptr<Prefetcher> pf);
+    Prefetcher *prefetcher() { return pf.get(); }
+
+    // MemLevel: entry points used by cores and upper caches.
+    bool submitRead(MemRequest req) override;
+    void submitWriteback(Addr p_line) override;
+
+    /** Advance one cycle: drain WQ, RQ, PQ, retry unsent MSHRs. */
+    void tick();
+
+    // ReadClient: response from the level below.
+    void readDone(const MemRequest &req) override;
+
+    // PrefetchPort.
+    bool issuePrefetch(Addr line_addr, FillLevel level) override;
+    double mshrOccupancy() const override;
+    Cycle now() const override { return *clock; }
+
+    /**
+     * Zero-latency demand tag probe used by the instruction-fetch fast
+     * path: on a hit it updates hit statistics and replacement state and
+     * returns true; on a miss it changes nothing (the caller then
+     * submits a regular read).
+     */
+    bool fastHit(Addr p_line);
+
+    /** Non-mutating tag probe (tests and benches). */
+    bool probe(Addr p_line) const;
+
+    /** Dirty-bit probe for tests. */
+    bool probeDirty(Addr p_line) const;
+
+    const CacheConfig &config() const { return cfg; }
+    std::size_t rqOccupancy() const { return rq.size(); }
+    std::size_t pqOccupancy() const { return pq.size(); }
+    std::size_t mshrsInUse() const { return mshrUsed; }
+
+    CacheStats stats;
+
+  private:
+    struct Line
+    {
+        Addr pLine = kNoAddr;
+        Addr vLine = kNoAddr;
+        bool valid = false;
+        bool dirty = false;
+        bool prefetched = false;  //!< brought in by a prefetch
+        bool pfUsed = false;      //!< prefetched line already demanded
+        Cycle pfLatency = 0;      //!< 12-bit stored latency (0 = none)
+    };
+
+    struct MshrEntry
+    {
+        bool valid = false;
+        Addr pLine = kNoAddr;
+        Addr vLine = kNoAddr;
+        Addr ip = 0;              //!< first demand requester's IP
+        bool isPrefetch = false;  //!< allocated by a prefetch request
+        bool hadDemand = false;   //!< a demand access waits on this line
+        bool wantsDirty = false;  //!< an RFO waits on this line
+        FillLevel fillLevel = FillLevel::L1;
+        Cycle ts = 0;             //!< PQ-insert or allocation timestamp
+        bool sentBelow = false;
+        MemRequest fwd;           //!< request to (re)send below
+        std::vector<MemRequest> waiters;
+    };
+
+    unsigned setIndex(Addr p_line) const { return p_line % cfg.sets; }
+    Line *findLine(Addr p_line);
+    const Line *findLine(Addr p_line) const;
+    MshrEntry *findMshr(Addr p_line);
+    MshrEntry *allocMshr();
+
+    void processWrites();
+    void processReads();
+    void processPrefetches();
+    void retryUnsentMshrs();
+
+    /** Handle one RQ entry; returns false if it must stay queued. */
+    bool handleRead(MemRequest &req);
+
+    /** Handle one PQ entry; returns false if it must stay queued. */
+    bool handlePrefetch(MemRequest &req);
+
+    /** Install a line; returns the installed way's Line. */
+    Line &fillLine(Addr p_line, Addr v_line, bool dirty, bool prefetched);
+
+    bool isDemand(AccessType t) const
+    {
+        return t == AccessType::Load || t == AccessType::Rfo ||
+               t == AccessType::InstrFetch || t == AccessType::Translation;
+    }
+
+    CacheConfig cfg;
+    const Cycle *clock;
+    MemLevel *lower = nullptr;
+    TranslationUnit *translation = nullptr;
+    std::unique_ptr<Prefetcher> pf;
+    std::unique_ptr<ReplPolicy> repl;
+
+    // Victim info of the most recent fillLine, consumed by readDone to
+    // populate the prefetcher's FillInfo.
+    Addr lastEvictedPLine = kNoAddr;
+    bool lastEvictedUnusedPf = false;
+
+    std::vector<Line> lines;         //!< sets * ways
+    std::vector<MshrEntry> mshr;
+    unsigned mshrUsed = 0;
+    std::deque<MemRequest> rq;
+    std::deque<MemRequest> pq;
+    std::deque<Addr> wq;
+};
+
+} // namespace berti
+
+#endif // BERTI_MEM_CACHE_HH

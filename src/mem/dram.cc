@@ -1,0 +1,149 @@
+#include "mem/dram.hh"
+
+namespace berti
+{
+
+Dram::Dram(const DramConfig &config, const Cycle *clock_ptr)
+    : cfg(config), clock(clock_ptr), banks(cfg.banks)
+{}
+
+Addr
+Dram::rowOf(Addr p_line) const
+{
+    return p_line / (cfg.rowBytes / kLineSize);
+}
+
+unsigned
+Dram::bankOf(Addr p_line) const
+{
+    // Row-interleaved banking: consecutive 4 KB rows land on different
+    // banks so streams exploit bank-level parallelism.
+    return static_cast<unsigned>(rowOf(p_line) % cfg.banks);
+}
+
+bool
+Dram::submitRead(MemRequest req)
+{
+    if (rq.size() >= cfg.rqSize)
+        return false;
+    req.enqueueCycle = *clock;
+    rq.push_back(req);
+    return true;
+}
+
+void
+Dram::submitWriteback(Addr p_line)
+{
+    // Soft capacity (see Cache::submitWriteback); drained with priority
+    // once past the watermark.
+    wq.push_back(p_line);
+}
+
+Cycle
+Dram::accessBank(Addr p_line)
+{
+    Bank &bank = banks[bankOf(p_line)];
+    Addr row = rowOf(p_line);
+
+    Cycle start = std::max(*clock, bank.readyCycle);
+    Cycle access;   //!< command-to-data latency
+    Cycle occupy;   //!< bank busy time before the next command
+    if (bank.openRow == row) {
+        // Column accesses to an open row pipeline at burst rate.
+        access = cfg.tCas;
+        occupy = cfg.burstCycles();
+        ++stats.rowHits;
+    } else if (bank.openRow == kNoAddr) {
+        access = cfg.tRcd + cfg.tCas;
+        occupy = cfg.tRcd + cfg.burstCycles();
+        ++stats.rowMisses;
+    } else {
+        access = cfg.tRp + cfg.tRcd + cfg.tCas;
+        occupy = cfg.tRp + cfg.tRcd + cfg.burstCycles();
+        ++stats.rowConflicts;
+    }
+    bank.openRow = row;
+
+    Cycle data_ready = start + access;
+    Cycle bus_start = std::max(data_ready, busFreeCycle);
+    Cycle finish = bus_start + cfg.burstCycles();
+    busFreeCycle = finish;
+    bank.readyCycle = start + occupy;
+    return finish + cfg.linkLatency;
+}
+
+void
+Dram::scheduleOne()
+{
+    // Hysteretic write drain: start at the high watermark, stop when
+    // half-empty or a read arrives and pressure is off.
+    std::size_t high =
+        static_cast<std::size_t>(cfg.writeDrainWatermark * cfg.wqSize);
+    if (wq.size() >= high)
+        drainingWrites = true;
+    if (wq.empty() || (drainingWrites && wq.size() < cfg.wqSize / 2))
+        drainingWrites = false;
+
+    bool do_write = drainingWrites || (rq.empty() && !wq.empty());
+    if (do_write) {
+        // FR-FCFS among writes: first row hit, else oldest.
+        std::size_t pick = 0;
+        for (std::size_t i = 0; i < wq.size(); ++i) {
+            if (banks[bankOf(wq[i])].openRow == rowOf(wq[i])) {
+                pick = i;
+                break;
+            }
+        }
+        Addr p_line = wq[pick];
+        wq.erase(wq.begin() + static_cast<std::ptrdiff_t>(pick));
+        accessBank(p_line);
+        ++stats.writes;
+        return;
+    }
+
+    if (rq.empty())
+        return;
+
+    // FR-FCFS among reads: the oldest request to an open row wins;
+    // otherwise the oldest request overall.
+    std::size_t pick = 0;
+    bool found_hit = false;
+    for (std::size_t i = 0; i < rq.size(); ++i) {
+        if (banks[bankOf(rq[i].pLine)].openRow == rowOf(rq[i].pLine)) {
+            pick = i;
+            found_hit = true;
+            break;
+        }
+    }
+    if (!found_hit)
+        pick = 0;
+
+    MemRequest req = rq[pick];
+    rq.erase(rq.begin() + static_cast<std::ptrdiff_t>(pick));
+    Cycle finish = accessBank(req.pLine);
+    ++stats.reads;
+    inflight.push({finish, req});
+}
+
+void
+Dram::tick()
+{
+    while (!inflight.empty() && inflight.top().finish <= *clock) {
+        MemRequest req = inflight.top().req;
+        inflight.pop();
+        if (req.client)
+            req.client->readDone(req);
+    }
+
+    // One scheduling decision per cycle; the bus/bank timing inside
+    // accessBank serialises actual service. The lookahead window lets
+    // commands issue while earlier data is still in the CAS pipeline —
+    // it covers a full precharge+activate+CAS plus a few bursts of bus
+    // backlog, so row hits stream at burst rate.
+    Cycle lookahead =
+        cfg.tRp + cfg.tRcd + cfg.tCas + 4 * cfg.burstCycles();
+    if (busFreeCycle <= *clock + lookahead)
+        scheduleOne();
+}
+
+} // namespace berti

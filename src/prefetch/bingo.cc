@@ -1,0 +1,120 @@
+#include "prefetch/bingo.hh"
+
+namespace berti
+{
+
+BingoPrefetcher::BingoPrefetcher(const Config &config)
+    : cfg(config), live(cfg.filterEntries), pht(cfg.phtEntries)
+{}
+
+Addr
+BingoPrefetcher::regionBaseOf(Addr line) const
+{
+    return line - (line % cfg.regionLines);
+}
+
+std::uint64_t
+BingoPrefetcher::longKey(Addr ip, unsigned offset) const
+{
+    return ((ip >> 2) * 0x9e3779b97f4a7c15ull) ^ (offset * 0x517cc1b7ull) ^
+           1ull;
+}
+
+std::uint64_t
+BingoPrefetcher::shortKey(Addr ip) const
+{
+    return (ip >> 2) * 0xc2b2ae3d27d4eb4full;
+}
+
+const BingoPrefetcher::PhtEntry *
+BingoPrefetcher::lookupPht(std::uint64_t key) const
+{
+    const PhtEntry &e = pht[key % cfg.phtEntries];
+    return e.valid && e.key == key ? &e : nullptr;
+}
+
+void
+BingoPrefetcher::storePht(std::uint64_t key, std::uint64_t footprint)
+{
+    PhtEntry &e = pht[key % cfg.phtEntries];
+    e.valid = true;
+    e.key = key;
+    e.footprint = footprint;
+}
+
+void
+BingoPrefetcher::retire(LiveRegion &region)
+{
+    if (!region.valid)
+        return;
+    // Store under both events; the long event captures the precise
+    // pattern, the short event generalises across offsets.
+    storePht(longKey(region.triggerIp, region.triggerOffset),
+             region.footprint);
+    storePht(shortKey(region.triggerIp), region.footprint);
+    region.valid = false;
+}
+
+void
+BingoPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.pLine != kNoAddr ? info.pLine : info.vLine;
+    if (line == kNoAddr)
+        return;
+
+    Addr base = regionBaseOf(line);
+    unsigned offset = static_cast<unsigned>(line - base);
+    ++tick;
+
+    // Find or open the live region.
+    LiveRegion *region = nullptr;
+    LiveRegion *victim = &live[0];
+    for (auto &r : live) {
+        if (r.valid && r.base == base) {
+            region = &r;
+            break;
+        }
+        if (!r.valid || r.lruStamp < victim->lruStamp)
+            victim = &r;
+    }
+
+    if (!region) {
+        // Region trigger: retire the victim's accumulated footprint,
+        // then replay the best-matching stored pattern.
+        retire(*victim);
+        region = victim;
+        region->valid = true;
+        region->base = base;
+        region->triggerIp = info.ip;
+        region->triggerOffset = offset;
+        region->footprint = 0;
+
+        const PhtEntry *match = lookupPht(longKey(info.ip, offset));
+        if (!match)
+            match = lookupPht(shortKey(info.ip));
+        if (match) {
+            for (unsigned b = 0; b < cfg.regionLines; ++b) {
+                if (b != offset && (match->footprint & (1ull << b)))
+                    port->issuePrefetch(base + b, FillLevel::L2);
+            }
+        }
+    }
+
+    region->footprint |= 1ull << offset;
+    region->lastTouch = tick;
+    region->lruStamp = tick;
+}
+
+std::uint64_t
+BingoPrefetcher::storageBits() const
+{
+    // Bingo is deliberately storage-hungry (~46 KB in the paper's
+    // Table III configuration).
+    std::uint64_t live_bits = static_cast<std::uint64_t>(
+        cfg.filterEntries) * (34 + 16 + 5 + cfg.regionLines);
+    std::uint64_t pht_bits = static_cast<std::uint64_t>(cfg.phtEntries) *
+                             (16 + cfg.regionLines + 1 + 32);
+    return live_bits + pht_bits;
+}
+
+} // namespace berti

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bingo spatial data prefetcher (Bakhshalipour et al., HPCA 2019): an L2
+ * region-footprint prefetcher. While a 2 KB region is live, the lines it
+ * touches accumulate in an accumulation table; on region retirement the
+ * footprint is stored in a pattern history table reachable through both
+ * a long event (PC+offset) and a short event (PC). A region's first
+ * access replays the best-matching footprint (long event preferred).
+ */
+
+#ifndef BERTI_PREFETCH_BINGO_HH
+#define BERTI_PREFETCH_BINGO_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace berti
+{
+
+class BingoPrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        unsigned regionLines = 32;    //!< 2 KB regions
+        unsigned filterEntries = 64;  //!< accumulation-table regions
+        unsigned phtEntries = 4096;
+        unsigned maxRegionAge = 4096; //!< accesses before retirement
+    };
+
+    BingoPrefetcher() : BingoPrefetcher(Config{}) {}
+    explicit BingoPrefetcher(const Config &cfg);
+
+    void onAccess(const AccessInfo &info) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "bingo"; }
+
+  private:
+    struct LiveRegion
+    {
+        bool valid = false;
+        Addr base = 0;              //!< region base line address
+        Addr triggerIp = 0;
+        unsigned triggerOffset = 0;
+        std::uint64_t footprint = 0;
+        std::uint64_t lastTouch = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct PhtEntry
+    {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t footprint = 0;
+    };
+
+    Addr regionBaseOf(Addr line) const;
+    std::uint64_t longKey(Addr ip, unsigned offset) const;
+    std::uint64_t shortKey(Addr ip) const;
+    void retire(LiveRegion &region);
+    const PhtEntry *lookupPht(std::uint64_t key) const;
+    void storePht(std::uint64_t key, std::uint64_t footprint);
+
+    Config cfg;
+    std::vector<LiveRegion> live;
+    std::vector<PhtEntry> pht;
+    std::uint64_t tick = 0;
+};
+
+} // namespace berti
+
+#endif // BERTI_PREFETCH_BINGO_HH

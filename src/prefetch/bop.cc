@@ -1,0 +1,97 @@
+#include "prefetch/bop.hh"
+
+#include <algorithm>
+
+namespace berti
+{
+
+BopPrefetcher::BopPrefetcher(const Config &config)
+    : cfg(config), rrTable(cfg.rrEntries, kNoAddr)
+{
+    // Michaud's candidate list: offsets whose prime factorisation uses
+    // only 2, 3 and 5, up to 256 (positive offsets).
+    for (int o = 1; o <= 256; ++o) {
+        int n = o;
+        for (int f : {2, 3, 5}) {
+            while (n % f == 0)
+                n /= f;
+        }
+        if (n == 1)
+            offsets.push_back(o);
+    }
+    scores.assign(offsets.size(), 0);
+}
+
+void
+BopPrefetcher::score(Addr line)
+{
+    // Test one candidate per access, round-robin: does the RR table hold
+    // line - candidate (i.e. would that offset have been timely)?
+    int candidate = offsets[testIndex];
+    Addr base = line - static_cast<Addr>(candidate);
+    if (rrTable[base % cfg.rrEntries] == base) {
+        if (++scores[testIndex] >= cfg.scoreMax) {
+            // Learning phase ends immediately with this winner.
+            best = candidate;
+            active = true;
+            std::fill(scores.begin(), scores.end(), 0);
+            rounds = 0;
+            testIndex = 0;
+            return;
+        }
+    }
+    if (++testIndex == offsets.size()) {
+        testIndex = 0;
+        if (++rounds >= cfg.roundMax) {
+            auto it = std::max_element(scores.begin(), scores.end());
+            int best_score = *it;
+            best = offsets[static_cast<std::size_t>(
+                it - scores.begin())];
+            active = best_score > cfg.badScore;
+            std::fill(scores.begin(), scores.end(), 0);
+            rounds = 0;
+        }
+    }
+}
+
+void
+BopPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.vLine != kNoAddr ? info.vLine : info.pLine;
+    if (line == kNoAddr)
+        return;
+
+    score(line);
+
+    if (active) {
+        for (unsigned k = 1; k <= cfg.degree; ++k) {
+            port->issuePrefetch(line + static_cast<Addr>(k * best),
+                                FillLevel::L1);
+        }
+    }
+}
+
+void
+BopPrefetcher::onFill(const FillInfo &info)
+{
+    // Record the *base* of the completed fetch: the demand address for
+    // demand fills, fill - current offset for prefetched fills (the
+    // trigger address). A later access to base + d then proves offset d
+    // both useful and timely.
+    Addr line = info.vLine != kNoAddr ? info.vLine : info.pLine;
+    if (line == kNoAddr)
+        return;
+    Addr base = info.byPrefetch ? line - static_cast<Addr>(best) : line;
+    rrTable[base % cfg.rrEntries] = base;
+}
+
+std::uint64_t
+BopPrefetcher::storageBits() const
+{
+    // RR table of 24-bit line addresses + one score (6 bits) per
+    // candidate + cursors.
+    return static_cast<std::uint64_t>(cfg.rrEntries) * 24 +
+           offsets.size() * 6 + 32;
+}
+
+} // namespace berti

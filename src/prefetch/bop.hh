@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Best-Offset Prefetching (Michaud, HPCA 2016; DPC-2 winner). Learns a
+ * single *global* best offset by scoring candidate offsets against a
+ * recent-requests table that captures timeliness, then prefetches
+ * line + best_offset on every demand access. This is the archetypal
+ * global-delta prefetcher Berti's motivation section argues against.
+ */
+
+#ifndef BERTI_PREFETCH_BOP_HH
+#define BERTI_PREFETCH_BOP_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace berti
+{
+
+class BopPrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        unsigned rrEntries = 256;  //!< recent-requests table (direct map)
+        int scoreMax = 31;         //!< learning ends when a score hits it
+        unsigned roundMax = 100;   //!< or after this many full rounds
+        int badScore = 10;         //!< below this, do not prefetch
+        unsigned degree = 1;
+    };
+
+    BopPrefetcher() : BopPrefetcher(Config{}) {}
+    explicit BopPrefetcher(const Config &cfg);
+
+    void onAccess(const AccessInfo &info) override;
+    void onFill(const FillInfo &info) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "bop"; }
+
+    /** Currently selected offset (0 = prefetch off). For tests/fig3. */
+    int bestOffset() const { return best; }
+
+  private:
+    void score(Addr line);
+
+    Config cfg;
+    std::vector<int> offsets;      //!< candidate offset list
+    std::vector<int> scores;
+    std::vector<Addr> rrTable;     //!< recent base addresses
+    unsigned testIndex = 0;        //!< round-robin candidate cursor
+    unsigned rounds = 0;
+    int best = 1;                  //!< offset in use (learning phase N-1)
+    bool active = true;            //!< false when best score was bad
+};
+
+} // namespace berti
+
+#endif // BERTI_PREFETCH_BOP_HH

@@ -1,0 +1,179 @@
+#include "prefetch/ipcp.hh"
+
+namespace berti
+{
+
+IpcpPrefetcher::IpcpPrefetcher(const Config &config)
+    : cfg(config), ipTable(cfg.ipEntries), cspt(cfg.csptEntries),
+      regions(cfg.regionEntries)
+{}
+
+IpcpPrefetcher::IpEntry &
+IpcpPrefetcher::ipEntry(Addr ip)
+{
+    std::size_t idx = (ip >> 2) % cfg.ipEntries;
+    IpEntry &e = ipTable[idx];
+    std::uint16_t tag = static_cast<std::uint16_t>(
+        (ip >> 2) / cfg.ipEntries & 0x3FF);
+    if (!e.valid || e.tag != tag) {
+        e = IpEntry{};
+        e.valid = true;
+        e.tag = tag;
+    }
+    return e;
+}
+
+IpcpPrefetcher::Region *
+IpcpPrefetcher::regionFor(Addr line, bool allocate)
+{
+    Addr page = line >> (kPageBits - kLineBits);
+    Region *victim = &regions[0];
+    for (auto &r : regions) {
+        if (r.valid && r.page == page)
+            return &r;
+        if (!r.valid || r.lruStamp < victim->lruStamp)
+            victim = &r;
+    }
+    if (!allocate)
+        return nullptr;
+    *victim = Region{};
+    victim->valid = true;
+    victim->page = page;
+    victim->lruStamp = ++tick;
+    return victim;
+}
+
+std::uint16_t
+IpcpPrefetcher::nextSignature(std::uint16_t sig, int delta)
+{
+    return static_cast<std::uint16_t>(
+        ((sig << 3) ^ static_cast<std::uint16_t>(delta & 0x3F)) & 0xFFF);
+}
+
+void
+IpcpPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.vLine != kNoAddr ? info.vLine : info.pLine;
+    if (line == kNoAddr)
+        return;
+
+    // --------------------------------------------- GS region tracking
+    Region *region = regionFor(line, true);
+    region->lruStamp = ++tick;
+    unsigned bit = line & (kLinesPerPage - 1);
+    if (!(region->touched & (1ull << bit))) {
+        region->touched |= 1ull << bit;
+        ++region->count;
+    }
+    region->directionUp = line >= region->lastLine;
+    region->lastLine = line;
+    bool dense = region->count >= cfg.denseThreshold;
+
+    IpEntry &e = ipEntry(info.ip);
+    bool had_history = e.lastLine != 0;
+    int stride = had_history
+        ? static_cast<int>(static_cast<std::int64_t>(line) -
+                           static_cast<std::int64_t>(e.lastLine))
+        : 0;
+
+    // ----------------------------------------------------- training
+    if (had_history && stride != 0) {
+        if (stride == e.lastStride) {
+            if (e.conf < 3)
+                ++e.conf;
+        } else {
+            e.conf = e.conf > 0 ? e.conf - 1 : 0;
+        }
+        // CPLX: train the signature table with the observed delta.
+        CsptEntry &c = cspt[e.signature % cfg.csptEntries];
+        if (c.delta == stride) {
+            if (c.conf < 3)
+                ++c.conf;
+        } else if (c.conf > 0) {
+            --c.conf;
+        } else {
+            c.delta = stride;
+            c.conf = 1;
+        }
+        e.signature = nextSignature(e.signature, stride);
+    }
+    e.streamHint = dense;
+
+    // ---------------------------------------------------- prediction
+    if (dense) {
+        // GS class: stream through the region, aggressively.
+        for (unsigned k = 1; k <= cfg.gsDegree; ++k) {
+            Addr target = region->directionUp ? line + k : line - k;
+            port->issuePrefetch(target, FillLevel::L1);
+        }
+    } else if (e.conf >= 2 && e.lastStride != 0 && stride == e.lastStride) {
+        // CS class: confident constant stride.
+        FillLevel level = e.conf == 3 ? FillLevel::L1 : FillLevel::L2;
+        for (unsigned k = 1; k <= cfg.csDegree; ++k) {
+            Addr target = static_cast<Addr>(
+                static_cast<std::int64_t>(line) +
+                static_cast<std::int64_t>(k) * e.lastStride);
+            if ((target >> (kPageBits - kLineBits)) !=
+                (line >> (kPageBits - kLineBits))) {
+                break;
+            }
+            port->issuePrefetch(target, level);
+        }
+    } else if (had_history && stride != 0) {
+        // CPLX class: walk the signature chain while confident.
+        std::uint16_t sig = e.signature;
+        Addr cursor = line;
+        for (unsigned k = 0; k < cfg.cplxDegree; ++k) {
+            const CsptEntry &c = cspt[sig % cfg.csptEntries];
+            if (c.conf < 2 || c.delta == 0)
+                break;
+            cursor = static_cast<Addr>(
+                static_cast<std::int64_t>(cursor) + c.delta);
+            if ((cursor >> (kPageBits - kLineBits)) !=
+                (line >> (kPageBits - kLineBits))) {
+                break;
+            }
+            port->issuePrefetch(cursor, FillLevel::L2);
+            sig = nextSignature(sig, c.delta);
+        }
+    } else if (!info.hit && !had_history) {
+        // NL fallback for unclassified IPs.
+        port->issuePrefetch(line + 1, FillLevel::L2);
+    }
+
+    if (had_history && stride != 0)
+        e.lastStride = stride;
+    e.lastLine = line;
+}
+
+std::uint64_t
+IpcpPrefetcher::storageBits() const
+{
+    // IP table entry: tag 10 + line 24 + stride 7 + conf 2 + sig 12 + 1.
+    std::uint64_t ip_bits =
+        static_cast<std::uint64_t>(cfg.ipEntries) * (10 + 24 + 7 + 2 + 12 + 1);
+    std::uint64_t cspt_bits =
+        static_cast<std::uint64_t>(cfg.csptEntries) * (7 + 2);
+    std::uint64_t region_bits =
+        static_cast<std::uint64_t>(cfg.regionEntries) * (28 + 64 + 6 + 1 + 24);
+    return ip_bits + cspt_bits + region_bits;
+}
+
+std::string
+IpcpPrefetcher::classOf(Addr ip) const
+{
+    const IpEntry &e = ipTable[(ip >> 2) % cfg.ipEntries];
+    std::uint16_t tag = static_cast<std::uint16_t>(
+        (ip >> 2) / cfg.ipEntries & 0x3FF);
+    if (!e.valid || e.tag != tag)
+        return "NL";
+    if (e.streamHint)
+        return "GS";
+    if (e.conf >= 2 && e.lastStride != 0)
+        return "CS";
+    if (e.signature != 0)
+        return "CPLX";
+    return "NL";
+}
+
+} // namespace berti

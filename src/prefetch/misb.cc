@@ -1,0 +1,72 @@
+#include "prefetch/misb.hh"
+
+namespace berti
+{
+
+MisbPrefetcher::MisbPrefetcher(const Config &config) : cfg(config)
+{}
+
+void
+MisbPrefetcher::trim()
+{
+    while (physToStruct.size() > cfg.maxMappings &&
+           !insertionOrder.empty()) {
+        Addr phys = insertionOrder.front();
+        insertionOrder.pop_front();
+        auto it = physToStruct.find(phys);
+        if (it != physToStruct.end()) {
+            structToPhys.erase(it->second);
+            physToStruct.erase(it);
+        }
+    }
+}
+
+void
+MisbPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.pLine != kNoAddr ? info.pLine : info.vLine;
+    if (line == kNoAddr)
+        return;
+
+    // ------------------------------------------------------ training
+    auto it = physToStruct.find(line);
+    Addr s;
+    if (it != physToStruct.end()) {
+        s = it->second;
+    } else {
+        // Assign a structural address: the successor of the previous
+        // access when that slot is free, otherwise open a new stream.
+        Addr candidate =
+            lastStruct != kNoAddr ? lastStruct + 1 : nextStreamBase;
+        if (lastStruct == kNoAddr || structToPhys.count(candidate)) {
+            candidate = nextStreamBase;
+            nextStreamBase += cfg.streamGap;
+        }
+        s = candidate;
+        physToStruct.emplace(line, s);
+        structToPhys.emplace(s, line);
+        insertionOrder.push_back(line);
+        trim();
+    }
+    lastStruct = s;
+
+    // ---------------------------------------------------- prediction
+    // Next lines in structural space, translated back to physical.
+    for (unsigned k = 1; k <= cfg.degree; ++k) {
+        auto next = structToPhys.find(s + k);
+        if (next == structToPhys.end())
+            break;
+        port->issuePrefetch(next->second, FillLevel::L2);
+    }
+}
+
+std::uint64_t
+MisbPrefetcher::storageBits() const
+{
+    // On-chip budget of the paper's section IV-H configuration: 98 KB
+    // (32 KB metadata cache, 17 KB Bloom filter, stream/TLB-sync
+    // structures); the full mappings live off-chip.
+    return 98ull * 1024 * 8;
+}
+
+} // namespace berti

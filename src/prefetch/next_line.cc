@@ -1,0 +1,7 @@
+#include "prefetch/next_line.hh"
+
+// Header-only; anchors the vtable.
+
+namespace berti
+{
+} // namespace berti

@@ -1,0 +1,139 @@
+#include "prefetch/ppf.hh"
+
+namespace berti
+{
+
+SppPpfPrefetcher::SppPpfPrefetcher(const Config &spp_cfg,
+                                   const PpfConfig &ppf_cfg)
+    : SppPrefetcher(spp_cfg), pcfg(ppf_cfg),
+      weights(static_cast<std::size_t>(kFeatures) * pcfg.tableEntries, 0),
+      issued(pcfg.historyEntries), rejected(pcfg.historyEntries)
+{}
+
+std::array<std::uint16_t, SppPpfPrefetcher::kFeatures>
+SppPpfPrefetcher::features(const SppCandidate &cand,
+                           const AccessInfo &info) const
+{
+    auto hash = [this](std::uint64_t v) {
+        v *= 0x9e3779b97f4a7c15ull;
+        return static_cast<std::uint16_t>((v >> 48) %
+                                          pcfg.tableEntries);
+    };
+    return {
+        hash(cand.line),
+        hash(cand.line & (kLinesPerPage - 1)),
+        hash(cand.signature),
+        hash(static_cast<std::uint64_t>(cand.delta + 4096)),
+        hash(cand.depth),
+        hash(static_cast<std::uint64_t>(cand.pathConfidence * 16) ^
+             (info.ip << 8)),
+    };
+}
+
+int
+SppPpfPrefetcher::score(
+    const std::array<std::uint16_t, kFeatures> &idx) const
+{
+    int s = 0;
+    for (unsigned f = 0; f < kFeatures; ++f)
+        s += weights[static_cast<std::size_t>(f) * pcfg.tableEntries +
+                     idx[f]];
+    return s;
+}
+
+void
+SppPpfPrefetcher::train(const std::array<std::uint16_t, kFeatures> &idx,
+                        bool up)
+{
+    for (unsigned f = 0; f < kFeatures; ++f) {
+        std::int8_t &w =
+            weights[static_cast<std::size_t>(f) * pcfg.tableEntries +
+                    idx[f]];
+        if (up && w < pcfg.weightMax)
+            ++w;
+        else if (!up && w > -pcfg.weightMax - 1)
+            --w;
+    }
+}
+
+void
+SppPpfPrefetcher::remember(
+    std::vector<HistoryEntry> &table, Addr line,
+    const std::array<std::uint16_t, kFeatures> &idx)
+{
+    HistoryEntry &e = table[line % table.size()];
+    e.valid = true;
+    e.line = line;
+    e.idx = idx;
+}
+
+SppPpfPrefetcher::HistoryEntry *
+SppPpfPrefetcher::recall(std::vector<HistoryEntry> &table, Addr line)
+{
+    HistoryEntry &e = table[line % table.size()];
+    return e.valid && e.line == line ? &e : nullptr;
+}
+
+void
+SppPpfPrefetcher::emit(const SppCandidate &cand, const AccessInfo &info)
+{
+    auto idx = features(cand, info);
+    int s = score(idx);
+    if (s < pcfg.issueThreshold) {
+        remember(rejected, cand.line, idx);
+        return;
+    }
+    FillLevel level =
+        s >= pcfg.fillL2Threshold ? FillLevel::L2 : FillLevel::LLC;
+    if (port->issuePrefetch(cand.line, level))
+        remember(issued, cand.line, idx);
+}
+
+void
+SppPpfPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.pLine != kNoAddr ? info.pLine : info.vLine;
+    if (line != kNoAddr) {
+        // A demand access to a rejected candidate: the filter was wrong
+        // to reject. To an issued one: right to issue — trained on the
+        // demand match itself (PPF's prefetch-table semantics), not on
+        // the fill level the candidate happened to get, so LLC-only
+        // fills still produce positive feedback.
+        if (HistoryEntry *r = recall(rejected, line)) {
+            train(r->idx, true);
+            r->valid = false;
+        }
+        if (HistoryEntry *i = recall(issued, line)) {
+            train(i->idx, true);
+            i->valid = false;
+        }
+    }
+    SppPrefetcher::onAccess(info);
+}
+
+void
+SppPpfPrefetcher::onFill(const FillInfo &info)
+{
+    // An unused prefetched line evicted: the filter should have
+    // rejected it.
+    if (info.evictedUnusedPrefetch &&
+        info.evictedPLine != kNoAddr) {
+        if (HistoryEntry *i = recall(issued, info.evictedPLine)) {
+            train(i->idx, false);
+            i->valid = false;
+        }
+    }
+    SppPrefetcher::onFill(info);
+}
+
+std::uint64_t
+SppPpfPrefetcher::storageBits() const
+{
+    std::uint64_t ppf_bits =
+        static_cast<std::uint64_t>(weights.size()) * 6 +
+        static_cast<std::uint64_t>(issued.size() + rejected.size()) *
+            (24 + kFeatures * 10);
+    return SppPrefetcher::storageBits() + ppf_bits;
+}
+
+} // namespace berti

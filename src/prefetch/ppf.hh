@@ -1,0 +1,75 @@
+/**
+ * @file
+ * SPP-PPF: Perceptron-based Prefetch Filtering (Bhatia et al., ISCA
+ * 2019) layered over SPP. Each SPP candidate is scored by a perceptron
+ * over feature hashes (address, page offset, signature, delta, depth,
+ * confidence); candidates below the reject threshold are dropped,
+ * between thresholds they fill only the LLC. Issued and rejected
+ * candidates are remembered so later demand (or the lack of it) trains
+ * the weights.
+ */
+
+#ifndef BERTI_PREFETCH_PPF_HH
+#define BERTI_PREFETCH_PPF_HH
+
+#include <array>
+#include <vector>
+
+#include "prefetch/spp.hh"
+
+namespace berti
+{
+
+class SppPpfPrefetcher : public SppPrefetcher
+{
+  public:
+    struct PpfConfig
+    {
+        unsigned tableEntries = 1024;  //!< per feature weight table
+        int weightMax = 31;
+        int issueThreshold = -8;       //!< score >= : issue
+        int fillL2Threshold = 8;       //!< score >= : fill into L2
+        unsigned historyEntries = 1024;  //!< prefetch & reject tables
+    };
+
+    SppPpfPrefetcher() : SppPpfPrefetcher(Config{}, PpfConfig{}) {}
+    SppPpfPrefetcher(const Config &spp_cfg, const PpfConfig &ppf_cfg);
+
+    void onAccess(const AccessInfo &info) override;
+    void onFill(const FillInfo &info) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "spp-ppf"; }
+
+  protected:
+    void emit(const SppCandidate &cand, const AccessInfo &info) override;
+
+  private:
+    static constexpr unsigned kFeatures = 6;
+
+    struct HistoryEntry
+    {
+        bool valid = false;
+        Addr line = 0;
+        std::array<std::uint16_t, kFeatures> idx{};
+    };
+
+    std::array<std::uint16_t, kFeatures>
+    features(const SppCandidate &cand, const AccessInfo &info) const;
+
+    int score(const std::array<std::uint16_t, kFeatures> &idx) const;
+    void train(const std::array<std::uint16_t, kFeatures> &idx, bool up);
+
+    void remember(std::vector<HistoryEntry> &table, Addr line,
+                  const std::array<std::uint16_t, kFeatures> &idx);
+    HistoryEntry *recall(std::vector<HistoryEntry> &table, Addr line);
+
+    PpfConfig pcfg;
+    std::vector<std::int8_t> weights;  //!< kFeatures * tableEntries
+    std::vector<HistoryEntry> issued;  //!< prefetch table
+    std::vector<HistoryEntry> rejected;  //!< reject table
+};
+
+} // namespace berti
+
+#endif // BERTI_PREFETCH_PPF_HH

@@ -1,0 +1,8 @@
+#include "prefetch/prefetcher.hh"
+
+// The framework is header-only today; this translation unit anchors the
+// vtable of Prefetcher so every user does not re-emit it.
+
+namespace berti
+{
+} // namespace berti

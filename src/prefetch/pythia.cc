@@ -1,0 +1,147 @@
+#include "prefetch/pythia.hh"
+
+#include <algorithm>
+
+namespace berti
+{
+
+PythiaPrefetcher::PythiaPrefetcher(const Config &config)
+    : cfg(config), rng(0x9717A),
+      q(static_cast<std::size_t>(cfg.stateBuckets) * cfg.actions.size(),
+        0.0),
+      pending(cfg.evalQueue)
+{}
+
+std::uint32_t
+PythiaPrefetcher::stateOf(Addr line, int last_delta) const
+{
+    // Feature vector: offset within page + last observed delta on the
+    // page, hashed into the bucketed state space (Pythia hashes richer
+    // feature combinations; these two carry most of the signal).
+    std::uint64_t offset = line & (kLinesPerPage - 1);
+    std::uint64_t h = offset * 131 +
+                      static_cast<std::uint64_t>(last_delta + 64) * 8191;
+    h *= 0x9e3779b97f4a7c15ull;
+    return static_cast<std::uint32_t>(h >> 40) % cfg.stateBuckets;
+}
+
+double
+PythiaPrefetcher::qValue(std::uint32_t state, unsigned action) const
+{
+    return q[static_cast<std::size_t>(state) * cfg.actions.size() +
+             action];
+}
+
+unsigned
+PythiaPrefetcher::selectAction(std::uint32_t state)
+{
+    if (rng.nextBool(cfg.epsilon))
+        return static_cast<unsigned>(rng.nextBounded(cfg.actions.size()));
+    unsigned best = 0;
+    for (unsigned a = 1; a < cfg.actions.size(); ++a) {
+        if (qValue(state, a) > qValue(state, best))
+            best = a;
+    }
+    return best;
+}
+
+void
+PythiaPrefetcher::update(std::uint32_t state, unsigned action,
+                         double value)
+{
+    double &cell =
+        q[static_cast<std::size_t>(state) * cfg.actions.size() + action];
+    cell += cfg.alpha * (value - cell);
+}
+
+void
+PythiaPrefetcher::reward(Addr line, double value)
+{
+    Pending &p = pending[line % pending.size()];
+    if (!p.valid || p.line != line)
+        return;
+    update(p.state, p.action, value);
+    p.valid = false;
+}
+
+void
+PythiaPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.pLine != kNoAddr ? info.pLine : info.vLine;
+    if (line == kNoAddr)
+        return;
+
+    // Delayed reward: a demand access to a line we prefetched.
+    if (info.firstHitOnPrefetch)
+        reward(line, cfg.rewardUseful);
+
+    Addr page = line >> (kPageBits - kLineBits);
+    unsigned offset = static_cast<unsigned>(line & (kLinesPerPage - 1));
+    int last_delta = 0;
+    if (auto it = lastOffsetPerPage.find(page);
+        it != lastOffsetPerPage.end()) {
+        last_delta = static_cast<int>(offset) -
+                     static_cast<int>(it->second);
+    }
+    lastOffsetPerPage[page] = offset;
+    if (lastOffsetPerPage.size() > 4096) {
+        lastOffsetPerPage.clear();  // bounded metadata
+        lastDeltaPerPage.clear();
+    }
+    lastDeltaPerPage[page] = last_delta;
+
+    std::uint32_t state = stateOf(line, last_delta);
+    unsigned action = selectAction(state);
+
+    // SARSA chaining: bootstrap the previous decision with the value of
+    // the current one.
+    if (havePrev) {
+        double bootstrap = cfg.gamma * qValue(state, action);
+        double &cell = q[static_cast<std::size_t>(prevState) *
+                             cfg.actions.size() + prevAction];
+        cell += cfg.alpha * 0.5 * (bootstrap - cell);
+    }
+    havePrev = true;
+    prevState = state;
+    prevAction = action;
+
+    int off = cfg.actions[action];
+    if (off == 0) {
+        // "No prefetch" carries a small opportunity cost so the agent
+        // keeps probing patterns that might be coverable.
+        update(state, action, cfg.rewardNoPrefetch);
+        return;
+    }
+    int target_offset = static_cast<int>(offset) + off;
+    if (target_offset < 0 ||
+        target_offset >= static_cast<int>(kLinesPerPage)) {
+        return;  // page-bounded (physical addresses at L2)
+    }
+    Addr target = (page << (kPageBits - kLineBits)) +
+                  static_cast<Addr>(target_offset);
+    if (port->issuePrefetch(target, FillLevel::L2)) {
+        Pending &p = pending[target % pending.size()];
+        p.valid = true;
+        p.line = target;
+        p.state = state;
+        p.action = action;
+    }
+}
+
+void
+PythiaPrefetcher::onFill(const FillInfo &info)
+{
+    if (info.evictedUnusedPrefetch && info.evictedPLine != kNoAddr)
+        reward(info.evictedPLine, cfg.rewardUseless);
+}
+
+std::uint64_t
+PythiaPrefetcher::storageBits() const
+{
+    // Q-table (8-bit quantised in hardware) + EQ entries + page state;
+    // Pythia's published budget is ~25.5 KB.
+    return static_cast<std::uint64_t>(q.size()) * 8 +
+           pending.size() * (24 + 10 + 4) + 4096 * (6 + 7);
+}
+
+} // namespace berti

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Pythia-lite: a reinforcement-learning prefetcher in the spirit of
+ * Pythia (Bera et al., MICRO 2021), which the paper's related-work
+ * section evaluates qualitatively: "with Berti at the L1D, we find
+ * negligible performance improvement with Pythia (less than 1%)".
+ *
+ * This implementation keeps Pythia's essence at a fraction of its
+ * complexity: a Q-table over compact program/memory state features
+ * (page-offset bucket + last delta), an action set of candidate
+ * prefetch offsets (including "no prefetch"), epsilon-greedy action
+ * selection with SARSA-style updates, and delayed rewards wired to the
+ * host cache's usefulness feedback (demand hit on a prefetched line =
+ * positive, unused eviction = negative).
+ */
+
+#ifndef BERTI_PREFETCH_PYTHIA_HH
+#define BERTI_PREFETCH_PYTHIA_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "sim/rng.hh"
+
+namespace berti
+{
+
+class PythiaPrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        std::vector<int> actions = {0, 1, 2, 3, 4, 6, 8, -1, -2, -4};
+        unsigned stateBuckets = 1024;  //!< hashed state space
+        double alpha = 0.15;           //!< learning rate
+        double gamma = 0.6;            //!< discount for SARSA chaining
+        double epsilon = 0.03;         //!< exploration rate
+        double rewardUseful = 1.0;
+        double rewardUseless = -2.0;
+        double rewardNoPrefetch = -0.1;  //!< opportunity cost
+        unsigned evalQueue = 256;      //!< in-flight (state,action) slots
+    };
+
+    PythiaPrefetcher() : PythiaPrefetcher(Config{}) {}
+    explicit PythiaPrefetcher(const Config &cfg);
+
+    void onAccess(const AccessInfo &info) override;
+    void onFill(const FillInfo &info) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "pythia"; }
+
+    /** Q-value lookup for tests. */
+    double qValue(std::uint32_t state, unsigned action) const;
+
+  private:
+    struct Pending
+    {
+        bool valid = false;
+        Addr line = 0;           //!< prefetched line (reward key)
+        std::uint32_t state = 0;
+        unsigned action = 0;
+    };
+
+    std::uint32_t stateOf(Addr line, int last_delta) const;
+    unsigned selectAction(std::uint32_t state);
+    void reward(Addr line, double value);
+    void update(std::uint32_t state, unsigned action, double value);
+
+    Config cfg;
+    Rng rng;
+    std::vector<double> q;            //!< stateBuckets * actions
+    std::vector<Pending> pending;     //!< direct-mapped by line
+    std::unordered_map<Addr, int> lastDeltaPerPage;
+    std::unordered_map<Addr, unsigned> lastOffsetPerPage;
+
+    // SARSA chaining of the previous decision.
+    bool havePrev = false;
+    std::uint32_t prevState = 0;
+    unsigned prevAction = 0;
+};
+
+} // namespace berti
+
+#endif // BERTI_PREFETCH_PYTHIA_HH

@@ -1,0 +1,81 @@
+#include "prefetch/sms.hh"
+
+namespace berti
+{
+
+SmsPrefetcher::SmsPrefetcher(const Config &config)
+    : cfg(config), live(cfg.accumulators), pht(cfg.patternEntries)
+{}
+
+std::uint64_t
+SmsPrefetcher::keyOf(Addr ip, unsigned offset) const
+{
+    return ((ip >> 2) * 0x9e3779b97f4a7c15ull) ^
+           (static_cast<std::uint64_t>(offset) * 0x517cc1b727220a95ull);
+}
+
+void
+SmsPrefetcher::retire(Accumulator &acc)
+{
+    if (!acc.valid)
+        return;
+    Pattern &p = pht[acc.key % cfg.patternEntries];
+    p.valid = true;
+    p.key = acc.key;
+    p.footprint = acc.footprint;
+    acc.valid = false;
+}
+
+void
+SmsPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.pLine != kNoAddr ? info.pLine : info.vLine;
+    if (line == kNoAddr)
+        return;
+
+    Addr base = line - (line % cfg.regionLines);
+    unsigned offset = static_cast<unsigned>(line - base);
+    ++tick;
+
+    Accumulator *acc = nullptr;
+    Accumulator *victim = &live[0];
+    for (auto &a : live) {
+        if (a.valid && a.base == base) {
+            acc = &a;
+            break;
+        }
+        if (!a.valid || a.lruStamp < victim->lruStamp)
+            victim = &a;
+    }
+
+    if (!acc) {
+        retire(*victim);
+        acc = victim;
+        acc->valid = true;
+        acc->base = base;
+        acc->key = keyOf(info.ip, offset);
+        acc->footprint = 0;
+
+        const Pattern &p = pht[acc->key % cfg.patternEntries];
+        if (p.valid && p.key == acc->key) {
+            for (unsigned b = 0; b < cfg.regionLines; ++b) {
+                if (b != offset && (p.footprint & (1ull << b)))
+                    port->issuePrefetch(base + b, FillLevel::L2);
+            }
+        }
+    }
+    acc->footprint |= 1ull << offset;
+    acc->lruStamp = tick;
+}
+
+std::uint64_t
+SmsPrefetcher::storageBits() const
+{
+    std::uint64_t acc_bits = static_cast<std::uint64_t>(
+        cfg.accumulators) * (34 + 16 + cfg.regionLines);
+    std::uint64_t pht_bits = static_cast<std::uint64_t>(
+        cfg.patternEntries) * (16 + cfg.regionLines + 1);
+    return acc_bits + pht_bits;
+}
+
+} // namespace berti

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Spatial Memory Streaming (Somogyi et al., ISCA 2006), discussed in
+ * the paper's related work as the archetypal spatial-footprint
+ * prefetcher ("similar to Bingo", single trigger event, no timeliness
+ * awareness). Regions accumulate a footprint while live; on retirement
+ * the footprint is stored in a pattern table keyed by (PC, trigger
+ * offset); a new region's first access replays the stored footprint.
+ */
+
+#ifndef BERTI_PREFETCH_SMS_HH
+#define BERTI_PREFETCH_SMS_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace berti
+{
+
+class SmsPrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        unsigned regionLines = 32;       //!< 2 KB spatial regions
+        unsigned accumulators = 32;      //!< live-region filter entries
+        unsigned patternEntries = 2048;  //!< PHT entries
+    };
+
+    SmsPrefetcher() : SmsPrefetcher(Config{}) {}
+    explicit SmsPrefetcher(const Config &cfg);
+
+    void onAccess(const AccessInfo &info) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "sms"; }
+
+  private:
+    struct Accumulator
+    {
+        bool valid = false;
+        Addr base = 0;
+        std::uint64_t key = 0;
+        std::uint64_t footprint = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct Pattern
+    {
+        bool valid = false;
+        std::uint64_t key = 0;
+        std::uint64_t footprint = 0;
+    };
+
+    std::uint64_t keyOf(Addr ip, unsigned offset) const;
+    void retire(Accumulator &acc);
+
+    Config cfg;
+    std::vector<Accumulator> live;
+    std::vector<Pattern> pht;
+    std::uint64_t tick = 0;
+};
+
+} // namespace berti
+
+#endif // BERTI_PREFETCH_SMS_HH

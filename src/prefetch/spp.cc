@@ -1,0 +1,145 @@
+#include "prefetch/spp.hh"
+
+namespace berti
+{
+
+SppPrefetcher::SppPrefetcher(const Config &config)
+    : cfg(config), st(cfg.stEntries), pt(cfg.ptEntries)
+{
+    for (auto &row : pt)
+        row.slots.resize(cfg.ptWays);
+}
+
+std::uint16_t
+SppPrefetcher::advance(std::uint16_t sig, int delta)
+{
+    // ChampSim SPP signature update: shift and xor the 7-bit signed
+    // delta into a 12-bit signature.
+    std::uint16_t d = static_cast<std::uint16_t>(delta & 0x7F);
+    return static_cast<std::uint16_t>(((sig << 3) ^ d) & 0xFFF);
+}
+
+SppPrefetcher::StEntry &
+SppPrefetcher::stEntry(Addr page)
+{
+    StEntry *victim = &st[0];
+    for (auto &e : st) {
+        if (e.valid && e.page == page) {
+            e.lruStamp = ++tick;
+            return e;
+        }
+        if (!e.valid || e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    *victim = StEntry{};
+    victim->valid = true;
+    victim->page = page;
+    victim->lruStamp = ++tick;
+    return *victim;
+}
+
+SppPrefetcher::PtRow &
+SppPrefetcher::ptRow(std::uint16_t sig)
+{
+    return pt[sig % cfg.ptEntries];
+}
+
+void
+SppPrefetcher::emit(const SppCandidate &cand, const AccessInfo &)
+{
+    FillLevel level = cand.pathConfidence >= cfg.fillThreshold
+        ? FillLevel::L2 : FillLevel::LLC;
+    port->issuePrefetch(cand.line, level);
+}
+
+void
+SppPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.pLine != kNoAddr ? info.pLine : info.vLine;
+    if (line == kNoAddr)
+        return;
+
+    Addr page = line >> (kPageBits - kLineBits);
+    unsigned offset = static_cast<unsigned>(line & (kLinesPerPage - 1));
+
+    StEntry &e = stEntry(page);
+    int delta = static_cast<int>(offset) - static_cast<int>(e.lastOffset);
+
+    // ------------------------------------------------------ training
+    if (e.touched && delta != 0) {
+        PtRow &row = ptRow(e.signature);
+        ++row.cSig;
+        PtSlot *slot = nullptr;
+        PtSlot *weakest = &row.slots[0];
+        for (auto &s : row.slots) {
+            if (s.cDelta > 0 && s.delta == delta) {
+                slot = &s;
+                break;
+            }
+            if (s.cDelta < weakest->cDelta)
+                weakest = &s;
+        }
+        if (!slot) {
+            slot = weakest;
+            slot->delta = delta;
+            slot->cDelta = 0;
+        }
+        ++slot->cDelta;
+        if (row.cSig >= 256) {
+            // Periodic halving keeps counters adaptive.
+            row.cSig /= 2;
+            for (auto &s : row.slots)
+                s.cDelta /= 2;
+        }
+        e.signature = advance(e.signature, delta);
+    }
+    e.lastOffset = offset;
+    e.touched = true;
+
+    // ---------------------------------------------- lookahead predict
+    std::uint16_t sig = e.signature;
+    double path_conf = 1.0;
+    int cursor = static_cast<int>(offset);
+    for (unsigned depth = 1; depth <= cfg.maxDepth; ++depth) {
+        PtRow &row = ptRow(sig);
+        if (row.cSig == 0)
+            break;
+        const PtSlot *best = nullptr;
+        for (const auto &s : row.slots) {
+            if (s.cDelta > 0 && (!best || s.cDelta > best->cDelta))
+                best = &s;
+        }
+        if (!best || best->delta == 0)
+            break;
+        path_conf *= static_cast<double>(best->cDelta) /
+                     static_cast<double>(row.cSig);
+        if (path_conf < cfg.prefetchThreshold)
+            break;
+        cursor += best->delta;
+        if (cursor < 0 || cursor >= static_cast<int>(kLinesPerPage))
+            break;  // physical page boundary
+
+        SppCandidate cand;
+        cand.line = (page << (kPageBits - kLineBits)) +
+                    static_cast<Addr>(cursor);
+        cand.pathConfidence = path_conf;
+        cand.signature = sig;
+        cand.delta = best->delta;
+        cand.depth = depth;
+        emit(cand, info);
+
+        sig = advance(sig, best->delta);
+    }
+}
+
+std::uint64_t
+SppPrefetcher::storageBits() const
+{
+    std::uint64_t st_bits =
+        static_cast<std::uint64_t>(cfg.stEntries) * (16 + 6 + 12 + 8);
+    std::uint64_t pt_bits = static_cast<std::uint64_t>(cfg.ptEntries) *
+                            (8 + cfg.ptWays * (7 + 8));
+    return st_bits + pt_bits;
+}
+
+} // namespace berti

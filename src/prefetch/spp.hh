@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Signature Path Prefetching (Kim et al., MICRO 2016): an L2 delta
+ * prefetcher. A signature table tracks per-page compressed delta
+ * histories; a pattern table maps signatures to candidate next deltas
+ * with confidence counters; a lookahead walk multiplies path confidence
+ * and keeps prefetching until it drops below a threshold. SPP-PPF wraps
+ * this class with the perceptron filter (see ppf.hh).
+ */
+
+#ifndef BERTI_PREFETCH_SPP_HH
+#define BERTI_PREFETCH_SPP_HH
+
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace berti
+{
+
+/**
+ * Candidate produced by the SPP lookahead walk; exposed so that PPF can
+ * filter candidates instead of issuing them directly.
+ */
+struct SppCandidate
+{
+    Addr line = 0;            //!< physical line to prefetch
+    double pathConfidence = 0.0;
+    std::uint16_t signature = 0;
+    int delta = 0;
+    unsigned depth = 0;       //!< lookahead depth (1 = first hop)
+};
+
+class SppPrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        unsigned stEntries = 256;    //!< signature table
+        unsigned ptEntries = 512;    //!< pattern table rows
+        unsigned ptWays = 4;         //!< delta slots per row
+        double fillThreshold = 0.90; //!< fill into L2 above this
+        double prefetchThreshold = 0.25;  //!< keep walking above this
+        unsigned maxDepth = 8;
+    };
+
+    SppPrefetcher() : SppPrefetcher(Config{}) {}
+    explicit SppPrefetcher(const Config &cfg);
+
+    void onAccess(const AccessInfo &info) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "spp"; }
+
+  protected:
+    /**
+     * Issue hook: the base class sends candidates straight to the port;
+     * PPF overrides this to apply the perceptron filter.
+     */
+    virtual void emit(const SppCandidate &cand, const AccessInfo &info);
+
+    struct StEntry
+    {
+        bool valid = false;
+        Addr page = 0;
+        unsigned lastOffset = 0;
+        bool touched = false;
+        std::uint16_t signature = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct PtSlot
+    {
+        int delta = 0;
+        unsigned cDelta = 0;
+    };
+
+    struct PtRow
+    {
+        std::vector<PtSlot> slots;
+        unsigned cSig = 0;
+    };
+
+    static std::uint16_t advance(std::uint16_t sig, int delta);
+
+    StEntry &stEntry(Addr page);
+    PtRow &ptRow(std::uint16_t sig);
+
+    Config cfg;
+    std::vector<StEntry> st;
+    std::vector<PtRow> pt;
+    std::uint64_t tick = 0;
+};
+
+} // namespace berti
+
+#endif // BERTI_PREFETCH_SPP_HH

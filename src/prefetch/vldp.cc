@@ -1,0 +1,127 @@
+#include "prefetch/vldp.hh"
+
+#include <algorithm>
+
+namespace berti
+{
+
+VldpPrefetcher::VldpPrefetcher(const Config &config)
+    : cfg(config), pages(cfg.pageEntries)
+{
+    for (auto &t : dpt)
+        t.assign(cfg.tableEntries, DptEntry{});
+}
+
+VldpPrefetcher::PageEntry &
+VldpPrefetcher::pageEntry(Addr page)
+{
+    PageEntry *victim = &pages[0];
+    for (auto &p : pages) {
+        if (p.valid && p.page == page) {
+            p.lruStamp = ++tick;
+            return p;
+        }
+        if (!p.valid || p.lruStamp < victim->lruStamp)
+            victim = &p;
+    }
+    *victim = PageEntry{};
+    victim->valid = true;
+    victim->page = page;
+    victim->lruStamp = ++tick;
+    return *victim;
+}
+
+std::size_t
+VldpPrefetcher::dptIndex(const PageEntry &e, unsigned history) const
+{
+    std::uint64_t h = 0;
+    for (unsigned i = 0; i <= history; ++i)
+        h = h * 0x1F1F1F1Full + static_cast<std::uint64_t>(
+                                    e.deltas[i] + 64);
+    return h % cfg.tableEntries;
+}
+
+void
+VldpPrefetcher::onAccess(const AccessInfo &info)
+{
+    Addr line = info.pLine != kNoAddr ? info.pLine : info.vLine;
+    if (line == kNoAddr)
+        return;
+
+    Addr page = line >> (kPageBits - kLineBits);
+    unsigned offset = static_cast<unsigned>(line & (kLinesPerPage - 1));
+
+    PageEntry &e = pageEntry(page);
+    int delta = static_cast<int>(offset) - static_cast<int>(e.lastOffset);
+
+    if (e.touched && delta != 0) {
+        // Train every table whose history is long enough, longest first
+        // (a correct long-history table reinforces, wrong ones decay).
+        for (unsigned h = 0; h < 3; ++h) {
+            if (e.numDeltas <= h)
+                break;
+            DptEntry &d = dpt[h][dptIndex(e, h)];
+            if (d.prediction == delta) {
+                if (d.conf < 3)
+                    ++d.conf;
+            } else if (d.conf > 0) {
+                --d.conf;
+            } else {
+                d.prediction = delta;
+                d.conf = 1;
+            }
+        }
+        // Shift the delta history (most recent first).
+        e.deltas[2] = e.deltas[1];
+        e.deltas[1] = e.deltas[0];
+        e.deltas[0] = delta;
+        if (e.numDeltas < 3)
+            ++e.numDeltas;
+    }
+    e.lastOffset = offset;
+    e.touched = true;
+
+    // Predict with the longest matching history; chain up to degree.
+    if (e.numDeltas == 0)
+        return;
+    unsigned cursor = offset;
+    PageEntry walk = e;  // local copy to roll the history forward
+    for (unsigned k = 0; k < cfg.degree; ++k) {
+        int predicted = 0;
+        for (int h = static_cast<int>(
+                 std::min(walk.numDeltas, 3u)) - 1; h >= 0; --h) {
+            const DptEntry &d =
+                dpt[h][dptIndex(walk, static_cast<unsigned>(h))];
+            if (d.conf >= cfg.confThreshold && d.prediction != 0) {
+                predicted = d.prediction;
+                break;
+            }
+        }
+        if (predicted == 0)
+            break;
+        int next = static_cast<int>(cursor) + predicted;
+        if (next < 0 || next >= static_cast<int>(kLinesPerPage))
+            break;  // VLDP predictions stay within the page
+        cursor = static_cast<unsigned>(next);
+        port->issuePrefetch((page << (kPageBits - kLineBits)) + cursor,
+                            FillLevel::L2);
+        walk.deltas[2] = walk.deltas[1];
+        walk.deltas[1] = walk.deltas[0];
+        walk.deltas[0] = predicted;
+        if (walk.numDeltas < 3)
+            ++walk.numDeltas;
+    }
+}
+
+std::uint64_t
+VldpPrefetcher::storageBits() const
+{
+    std::uint64_t page_bits =
+        static_cast<std::uint64_t>(cfg.pageEntries) *
+        (36 + 6 + 3 * 7 + 2 + 6);
+    std::uint64_t dpt_bits =
+        3ull * cfg.tableEntries * (7 + 2);
+    return page_bits + dpt_bits;
+}
+
+} // namespace berti

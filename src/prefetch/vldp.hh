@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Variable Length Delta Prefetching (Shevgoor et al., MICRO 2015): a
+ * spatial L2 prefetcher keeping per-page delta histories and predicting
+ * the next delta from multiple prediction tables of increasing history
+ * length (longest matching history wins).
+ */
+
+#ifndef BERTI_PREFETCH_VLDP_HH
+#define BERTI_PREFETCH_VLDP_HH
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace berti
+{
+
+class VldpPrefetcher : public Prefetcher
+{
+  public:
+    struct Config
+    {
+        unsigned pageEntries = 64;   //!< delta-history buffer entries
+        unsigned tableEntries = 256; //!< per DPT
+        unsigned degree = 4;
+        unsigned confThreshold = 2;
+    };
+
+    VldpPrefetcher() : VldpPrefetcher(Config{}) {}
+    explicit VldpPrefetcher(const Config &cfg);
+
+    void onAccess(const AccessInfo &info) override;
+
+    std::uint64_t storageBits() const override;
+    std::string name() const override { return "vldp"; }
+
+  private:
+    struct PageEntry
+    {
+        bool valid = false;
+        bool touched = false;  //!< a first offset has been recorded
+        Addr page = 0;
+        unsigned lastOffset = 0;
+        std::array<int, 3> deltas{};   //!< most recent first
+        unsigned numDeltas = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    struct DptEntry
+    {
+        int prediction = 0;
+        unsigned conf = 0;
+    };
+
+    PageEntry &pageEntry(Addr page);
+    std::size_t dptIndex(const PageEntry &e, unsigned history) const;
+
+    Config cfg;
+    std::vector<PageEntry> pages;
+    /** dpt[h] uses history length h+1. */
+    std::array<std::vector<DptEntry>, 3> dpt;
+    std::uint64_t tick = 0;
+};
+
+} // namespace berti
+
+#endif // BERTI_PREFETCH_VLDP_HH

@@ -1,0 +1,48 @@
+#include "sim/rng.hh"
+
+#include <cmath>
+
+namespace berti
+{
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    // Multiply-shift reduction; bias is negligible for simulator use.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextZipf(std::uint64_t n, double s)
+{
+    // Rejection-free approximate inverse-CDF sampling for the bounded
+    // Zipf distribution, accurate enough for synthetic workloads.
+    if (n <= 1)
+        return 0;
+    double u = nextDouble();
+    if (s == 1.0) {
+        double h = std::log(static_cast<double>(n));
+        return static_cast<std::uint64_t>(std::exp(u * h)) - 1;
+    }
+    double one_minus_s = 1.0 - s;
+    double h = (std::pow(static_cast<double>(n), one_minus_s) - 1.0) /
+               one_minus_s;
+    double x = std::pow(u * h * one_minus_s + 1.0, 1.0 / one_minus_s);
+    std::uint64_t v = static_cast<std::uint64_t>(x);
+    return v >= n ? n - 1 : v;
+}
+
+} // namespace berti

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small deterministic xorshift-based pseudo-random generator. Every source
+ * of randomness in the simulator (graph topology, page mapping, workload
+ * mixes) flows through this class so runs are bit-reproducible.
+ */
+
+#ifndef BERTI_SIM_RNG_HH
+#define BERTI_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace berti
+{
+
+/**
+ * xorshift64* generator. Deliberately not std::mt19937: we want a tiny,
+ * header-visible, implementation-pinned generator whose sequences never
+ * change across standard-library versions.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Zipf-distributed integer in [0, n) with exponent s. Used for
+     * power-law graph degrees and hot-set accesses.
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace berti
+
+#endif // BERTI_SIM_RNG_HH

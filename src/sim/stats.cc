@@ -1,0 +1,194 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace berti
+{
+
+namespace
+{
+
+std::uint64_t
+sub(std::uint64_t a, std::uint64_t b)
+{
+    return a >= b ? a - b : 0;
+}
+
+} // namespace
+
+double
+CacheStats::accuracy() const
+{
+    if (!prefetchFills)
+        return 0.0;
+    double useful = static_cast<double>(prefetchUseful);
+    double acc = useful / static_cast<double>(prefetchFills);
+    return acc > 1.0 ? 1.0 : acc;
+}
+
+double
+CacheStats::mpki(std::uint64_t instructions) const
+{
+    if (!instructions)
+        return 0.0;
+    return 1000.0 * static_cast<double>(demandMisses) /
+           static_cast<double>(instructions);
+}
+
+void
+CacheStats::add(const CacheStats &o)
+{
+    demandAccesses += o.demandAccesses;
+    demandHits += o.demandHits;
+    demandMisses += o.demandMisses;
+    demandMshrMerged += o.demandMshrMerged;
+    prefetchIssued += o.prefetchIssued;
+    prefetchFills += o.prefetchFills;
+    prefetchUseful += o.prefetchUseful;
+    prefetchUseless += o.prefetchUseless;
+    prefetchLate += o.prefetchLate;
+    prefetchDroppedFull += o.prefetchDroppedFull;
+    prefetchDroppedTlb += o.prefetchDroppedTlb;
+    prefetchDroppedPage += o.prefetchDroppedPage;
+    fillLatencySum += o.fillLatencySum;
+    fillLatencyCount += o.fillLatencyCount;
+    writebacks += o.writebacks;
+    fills += o.fills;
+    requestsBelow += o.requestsBelow;
+    tagReads += o.tagReads;
+    tagWrites += o.tagWrites;
+    dataReads += o.dataReads;
+    dataWrites += o.dataWrites;
+}
+
+void
+DramStats::add(const DramStats &o)
+{
+    reads += o.reads;
+    writes += o.writes;
+    rowHits += o.rowHits;
+    rowMisses += o.rowMisses;
+    rowConflicts += o.rowConflicts;
+}
+
+void
+CoreStats::add(const CoreStats &o)
+{
+    instructions += o.instructions;
+    cycles += o.cycles;
+    loads += o.loads;
+    stores += o.stores;
+    branches += o.branches;
+    mispredicts += o.mispredicts;
+}
+
+void
+TlbStats::add(const TlbStats &o)
+{
+    accesses += o.accesses;
+    misses += o.misses;
+    prefetchProbes += o.prefetchProbes;
+    prefetchProbeMisses += o.prefetchProbeMisses;
+}
+
+namespace
+{
+
+CacheStats
+diffCache(const CacheStats &a, const CacheStats &b)
+{
+    CacheStats r;
+    r.demandAccesses = sub(a.demandAccesses, b.demandAccesses);
+    r.demandHits = sub(a.demandHits, b.demandHits);
+    r.demandMisses = sub(a.demandMisses, b.demandMisses);
+    r.demandMshrMerged = sub(a.demandMshrMerged, b.demandMshrMerged);
+    r.prefetchIssued = sub(a.prefetchIssued, b.prefetchIssued);
+    r.prefetchFills = sub(a.prefetchFills, b.prefetchFills);
+    r.prefetchUseful = sub(a.prefetchUseful, b.prefetchUseful);
+    r.prefetchUseless = sub(a.prefetchUseless, b.prefetchUseless);
+    r.prefetchLate = sub(a.prefetchLate, b.prefetchLate);
+    r.prefetchDroppedFull = sub(a.prefetchDroppedFull, b.prefetchDroppedFull);
+    r.prefetchDroppedTlb = sub(a.prefetchDroppedTlb, b.prefetchDroppedTlb);
+    r.prefetchDroppedPage = sub(a.prefetchDroppedPage, b.prefetchDroppedPage);
+    r.fillLatencySum = sub(a.fillLatencySum, b.fillLatencySum);
+    r.fillLatencyCount = sub(a.fillLatencyCount, b.fillLatencyCount);
+    r.writebacks = sub(a.writebacks, b.writebacks);
+    r.fills = sub(a.fills, b.fills);
+    r.requestsBelow = sub(a.requestsBelow, b.requestsBelow);
+    r.tagReads = sub(a.tagReads, b.tagReads);
+    r.tagWrites = sub(a.tagWrites, b.tagWrites);
+    r.dataReads = sub(a.dataReads, b.dataReads);
+    r.dataWrites = sub(a.dataWrites, b.dataWrites);
+    return r;
+}
+
+} // namespace
+
+RunStats
+RunStats::diff(const RunStats &e) const
+{
+    RunStats r;
+    r.core.instructions = sub(core.instructions, e.core.instructions);
+    r.core.cycles = sub(core.cycles, e.core.cycles);
+    r.core.loads = sub(core.loads, e.core.loads);
+    r.core.stores = sub(core.stores, e.core.stores);
+    r.core.branches = sub(core.branches, e.core.branches);
+    r.core.mispredicts = sub(core.mispredicts, e.core.mispredicts);
+    r.l1i = diffCache(l1i, e.l1i);
+    r.l1d = diffCache(l1d, e.l1d);
+    r.l2 = diffCache(l2, e.l2);
+    r.llc = diffCache(llc, e.llc);
+    r.dtlb.accesses = sub(dtlb.accesses, e.dtlb.accesses);
+    r.dtlb.misses = sub(dtlb.misses, e.dtlb.misses);
+    r.stlb.accesses = sub(stlb.accesses, e.stlb.accesses);
+    r.stlb.misses = sub(stlb.misses, e.stlb.misses);
+    r.stlb.prefetchProbes = sub(stlb.prefetchProbes, e.stlb.prefetchProbes);
+    r.stlb.prefetchProbeMisses =
+        sub(stlb.prefetchProbeMisses, e.stlb.prefetchProbeMisses);
+    r.dram.reads = sub(dram.reads, e.dram.reads);
+    r.dram.writes = sub(dram.writes, e.dram.writes);
+    r.dram.rowHits = sub(dram.rowHits, e.dram.rowHits);
+    r.dram.rowMisses = sub(dram.rowMisses, e.dram.rowMisses);
+    r.dram.rowConflicts = sub(dram.rowConflicts, e.dram.rowConflicts);
+    return r;
+}
+
+void
+RunStats::add(const RunStats &o)
+{
+    core.add(o.core);
+    l1i.add(o.l1i);
+    l1d.add(o.l1d);
+    l2.add(o.l2);
+    llc.add(o.llc);
+    dtlb.add(o.dtlb);
+    stlb.add(o.stlb);
+    dram.add(o.dram);
+}
+
+std::string
+RunStats::summary() const
+{
+    std::ostringstream os;
+    os << "instr=" << core.instructions << " cycles=" << core.cycles
+       << " IPC=" << core.ipc()
+       << " L1D-MPKI=" << l1d.mpki(core.instructions)
+       << " L2-MPKI=" << l2.mpki(core.instructions)
+       << " LLC-MPKI=" << llc.mpki(core.instructions)
+       << " L1D-pf-acc=" << l1d.accuracy();
+    return os.str();
+}
+
+double
+geomean(const double *values, std::size_t count)
+{
+    if (!count)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < count; ++i)
+        acc += std::log(values[i]);
+    return std::exp(acc / static_cast<double>(count));
+}
+
+} // namespace berti

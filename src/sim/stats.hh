@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Plain counter structs gathered by each component during simulation plus
+ * the derived metrics (IPC, MPKI, accuracy, coverage, traffic) the paper
+ * reports. Counters are POD so copying a snapshot is trivial.
+ */
+
+#ifndef BERTI_SIM_STATS_HH
+#define BERTI_SIM_STATS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace berti
+{
+
+/** Counters maintained by one cache level. */
+struct CacheStats
+{
+    std::uint64_t demandAccesses = 0;  //!< load + RFO + instr tag lookups
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandMisses = 0;    //!< misses that allocated an MSHR
+    std::uint64_t demandMshrMerged = 0;
+
+    std::uint64_t prefetchIssued = 0;    //!< prefetches sent below
+    std::uint64_t prefetchFills = 0;     //!< lines installed by prefetch
+    std::uint64_t prefetchUseful = 0;    //!< prefetched lines later demanded
+    std::uint64_t prefetchUseless = 0;   //!< evicted without use
+    std::uint64_t prefetchLate = 0;      //!< demand merged into pf MSHR
+    std::uint64_t prefetchDroppedFull = 0;  //!< PQ/MSHR full
+    std::uint64_t prefetchDroppedTlb = 0;   //!< STLB miss on translation
+    std::uint64_t prefetchDroppedPage = 0;  //!< cross-page at phys level
+
+    std::uint64_t writebacks = 0;      //!< dirty evictions sent below
+    std::uint64_t fills = 0;           //!< all line installs
+    std::uint64_t requestsBelow = 0;   //!< total reads forwarded below
+
+    std::uint64_t fillLatencySum = 0;  //!< cycles, all MSHR fills
+    std::uint64_t fillLatencyCount = 0;
+
+    std::uint64_t tagReads = 0;        //!< energy accounting
+    std::uint64_t tagWrites = 0;
+    std::uint64_t dataReads = 0;
+    std::uint64_t dataWrites = 0;
+
+    /** Timely useful prefetches (hit a prefetched, already filled line). */
+    std::uint64_t
+    prefetchTimely() const
+    {
+        return prefetchUseful >= prefetchLate ?
+            prefetchUseful - prefetchLate : 0;
+    }
+
+    /**
+     * Prefetch accuracy as defined by the paper's artifact:
+     * (late + timely) / prefetch fills, i.e. 1 - unnecessary traffic.
+     */
+    double accuracy() const;
+
+    /** Demand misses per kilo-instruction given an instruction count. */
+    double mpki(std::uint64_t instructions) const;
+
+    /** Average fill (miss) latency in cycles. */
+    double
+    avgFillLatency() const
+    {
+        return fillLatencyCount
+            ? static_cast<double>(fillLatencySum) / fillLatencyCount
+            : 0.0;
+    }
+
+    void add(const CacheStats &other);
+};
+
+/** Counters maintained by the DRAM controller. */
+struct DramStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t rowConflicts = 0;
+
+    void add(const DramStats &other);
+};
+
+/** Counters maintained by one core. */
+struct CoreStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t mispredicts = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    void add(const CoreStats &other);
+};
+
+/** Counters maintained by one TLB level. */
+struct TlbStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t prefetchProbes = 0;
+    std::uint64_t prefetchProbeMisses = 0;
+
+    void add(const TlbStats &other);
+};
+
+/**
+ * Full snapshot of one simulated run of one core (plus the shared levels
+ * it touched). The harness subtracts a warm-up snapshot from the final
+ * snapshot to get region-of-interest statistics.
+ */
+struct RunStats
+{
+    CoreStats core;
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    CacheStats llc;
+    TlbStats dtlb;
+    TlbStats stlb;
+    DramStats dram;
+
+    /** Component-wise difference (this - earlier), used for ROI stats. */
+    RunStats diff(const RunStats &earlier) const;
+
+    /** Component-wise accumulate. */
+    void add(const RunStats &other);
+
+    /** Render a compact human-readable summary. */
+    std::string summary() const;
+};
+
+/** Geometric mean of a range of positive speedups. */
+double geomean(const double *values, std::size_t count);
+
+} // namespace berti
+
+#endif // BERTI_SIM_STATS_HH

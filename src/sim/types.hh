@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fundamental address/cycle types and address arithmetic helpers shared by
+ * every subsystem of the simulator.
+ */
+
+#ifndef BERTI_SIM_TYPES_HH
+#define BERTI_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace berti
+{
+
+/** A byte address, virtual or physical depending on context. */
+using Addr = std::uint64_t;
+
+/** A core-clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "no address". */
+constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Cache line geometry: 64-byte lines. */
+constexpr unsigned kLineBits = 6;
+constexpr unsigned kLineSize = 1u << kLineBits;
+
+/** Page geometry: 4 KB pages. */
+constexpr unsigned kPageBits = 12;
+constexpr Addr kPageSize = Addr{1} << kPageBits;
+
+/** Cache lines per page. */
+constexpr unsigned kLinesPerPage = 1u << (kPageBits - kLineBits);
+
+/** Byte address -> cache-line address (line number). */
+constexpr Addr
+lineAddr(Addr byte_addr)
+{
+    return byte_addr >> kLineBits;
+}
+
+/** Cache-line address -> byte address of the line base. */
+constexpr Addr
+lineToByte(Addr line_addr)
+{
+    return line_addr << kLineBits;
+}
+
+/** Byte address -> page number. */
+constexpr Addr
+pageAddr(Addr byte_addr)
+{
+    return byte_addr >> kPageBits;
+}
+
+/** Byte offset within the page. */
+constexpr Addr
+pageOffset(Addr byte_addr)
+{
+    return byte_addr & (kPageSize - 1);
+}
+
+/** True when two byte addresses fall on the same cache line. */
+constexpr bool
+sameLine(Addr a, Addr b)
+{
+    return lineAddr(a) == lineAddr(b);
+}
+
+/** True when two byte addresses fall on the same 4 KB page. */
+constexpr bool
+samePage(Addr a, Addr b)
+{
+    return pageAddr(a) == pageAddr(b);
+}
+
+/**
+ * Kind of a memory-hierarchy request. Mirrors ChampSim's access types.
+ */
+enum class AccessType : std::uint8_t
+{
+    Load,        //!< demand data read
+    Rfo,         //!< demand store (read-for-ownership)
+    Prefetch,    //!< prefetcher-generated read
+    Writeback,   //!< dirty eviction from an upper level
+    InstrFetch,  //!< instruction-cache read
+    Translation  //!< page-walk read
+};
+
+/**
+ * Deepest-to-shallowest fill target of a prefetch request. A prefetch
+ * with level L2 installs the line at L2 and LLC but not at L1D, exactly
+ * like ChampSim's fill_this_level semantics used by the paper.
+ */
+enum class FillLevel : std::uint8_t
+{
+    L1 = 1,  //!< fill L1D, L2 and LLC
+    L2 = 2,  //!< fill L2 and LLC
+    LLC = 3  //!< fill LLC only
+};
+
+} // namespace berti
+
+#endif // BERTI_SIM_TYPES_HH

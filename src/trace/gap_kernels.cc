@@ -1,0 +1,243 @@
+#include "trace/gap_kernels.hh"
+
+namespace berti
+{
+
+namespace
+{
+
+// Virtual layout of the kernel's data structures, page aligned and far
+// apart. Element sizes match the GAP suite (4 B indices, 8 B properties).
+constexpr Addr kRowPtrBase = 0x100000000ull;
+constexpr Addr kColBase = 0x140000000ull;
+constexpr Addr kProp0Base = 0x180000000ull;
+constexpr Addr kPropStride = 0x40000000ull;
+constexpr Addr kFrontierBase = 0x300000000ull;
+constexpr Addr kGapIp = 0x500000;
+
+Addr
+gapIp(unsigned site)
+{
+    return kGapIp + 4 * site;
+}
+
+} // namespace
+
+GapGen::GapGen(GapKernel kernel, std::shared_ptr<const Csr> graph,
+               std::uint64_t seed, unsigned alu_per_mem)
+    : kernel(kernel), g(std::move(graph)), rng(seed), aluPerMem(alu_per_mem)
+{
+    visitedEpoch.assign(g->numNodes, 0);
+    if (kernel == GapKernel::Bfs || kernel == GapKernel::Bc) {
+        epoch = 1;
+        frontier.push_back(0);
+        visitedEpoch[0] = epoch;
+    }
+    edgeEnd = 0;
+}
+
+Addr
+GapGen::rowPtrAddr(std::uint32_t n) const
+{
+    return kRowPtrBase + 4ull * n;
+}
+
+Addr
+GapGen::colAddr(std::uint64_t e) const
+{
+    return kColBase + 4ull * e;
+}
+
+Addr
+GapGen::propAddr(unsigned array, std::uint32_t n) const
+{
+    return kProp0Base + array * kPropStride + 8ull * n;
+}
+
+void
+GapGen::emitRow(unsigned site, std::uint32_t n)
+{
+    emitLoad(gapIp(site), rowPtrAddr(n));
+    emitLoad(gapIp(site + 1), rowPtrAddr(n + 1));
+}
+
+void
+GapGen::refill()
+{
+    switch (kernel) {
+      case GapKernel::Bfs:
+        stepBfs();
+        break;
+      case GapKernel::PageRank:
+        stepPageRank();
+        break;
+      case GapKernel::Cc:
+        stepCc();
+        break;
+      case GapKernel::Sssp:
+        stepSssp();
+        break;
+      case GapKernel::Bc:
+        stepBc();
+        break;
+    }
+    if (queue.empty())
+        emitAlu(gapIp(99), 1);  // never hand back an empty queue
+}
+
+void
+GapGen::stepBfs()
+{
+    if (edge >= edgeEnd) {
+        // Advance to the next frontier vertex (sequential queue read).
+        if (frontierPos >= frontier.size()) {
+            frontier.swap(nextFrontier);
+            nextFrontier.clear();
+            frontierPos = 0;
+            emitBranch(gapIp(9), !frontier.empty());
+            if (frontier.empty()) {
+                // BFS exhausted: restart from a new source.
+                ++epoch;
+                std::uint32_t src = static_cast<std::uint32_t>(
+                    rng.nextBounded(g->numNodes));
+                visitedEpoch[src] = epoch;
+                frontier.push_back(src);
+            }
+            return;
+        }
+        node = frontier[frontierPos];
+        emitLoad(gapIp(0), kFrontierBase + 4ull * frontierPos);
+        ++frontierPos;
+        emitRow(1, node);
+        emitAlu(gapIp(3), aluPerMem);
+        edge = g->rowPtr[node];
+        edgeEnd = g->rowPtr[node + 1];
+        return;
+    }
+    // Neighbour scan: sequential col read, irregular visited gather.
+    std::uint32_t v = g->col[edge];
+    emitLoad(gapIp(4), colAddr(edge));
+    emitLoad(gapIp(5), propAddr(0, v));  // visited/parent check
+    bool unseen = visitedEpoch[v] != epoch;
+    emitBranch(gapIp(6), unseen);
+    if (unseen) {
+        visitedEpoch[v] = epoch;
+        emitStore(gapIp(7), propAddr(0, v));
+        nextFrontier.push_back(v);
+        emitStore(gapIp(8), kFrontierBase + 4ull * nextFrontier.size());
+    }
+    emitAlu(gapIp(10), aluPerMem);
+    ++edge;
+}
+
+void
+GapGen::stepPageRank()
+{
+    if (edge >= edgeEnd) {
+        // Finish the previous vertex: write its new rank (sequential).
+        emitStore(gapIp(25), propAddr(1, node));
+        node = (node + 1) % g->numNodes;
+        emitRow(20, node);
+        emitAlu(gapIp(22), aluPerMem);
+        edge = g->rowPtr[node];
+        edgeEnd = g->rowPtr[node + 1];
+        emitBranch(gapIp(26), node != 0);
+        return;
+    }
+    // Pull phase: sequential col read + irregular rank gather. The col
+    // stream is the "one very regular IP" of the paper's bc-5 analysis.
+    std::uint32_t v = g->col[edge];
+    emitLoad(gapIp(23), colAddr(edge));
+    emitLoad(gapIp(24), propAddr(0, v));
+    emitAlu(gapIp(27), aluPerMem);
+    ++edge;
+}
+
+void
+GapGen::stepCc()
+{
+    if (edge >= edgeEnd) {
+        node = (node + 1) % g->numNodes;
+        emitLoad(gapIp(30), propAddr(0, node));  // comp[u], sequential-ish
+        emitRow(31, node);
+        edge = g->rowPtr[node];
+        edgeEnd = g->rowPtr[node + 1];
+        emitAlu(gapIp(33), aluPerMem);
+        return;
+    }
+    std::uint32_t v = g->col[edge];
+    emitLoad(gapIp(34), colAddr(edge));
+    emitLoad(gapIp(35), propAddr(0, v));  // comp[v] gather
+    // Label update with a data-dependent branch.
+    bool update = rng.nextBool(0.2);
+    emitBranch(gapIp(36), update);
+    if (update)
+        emitStore(gapIp(37), propAddr(0, node));
+    emitAlu(gapIp(38), aluPerMem);
+    ++edge;
+}
+
+void
+GapGen::stepSssp()
+{
+    if (edge >= edgeEnd) {
+        node = (node + 1) % g->numNodes;
+        emitLoad(gapIp(40), propAddr(0, node));  // dist[u]
+        emitRow(41, node);
+        edge = g->rowPtr[node];
+        edgeEnd = g->rowPtr[node + 1];
+        emitAlu(gapIp(43), aluPerMem);
+        return;
+    }
+    std::uint32_t v = g->col[edge];
+    emitLoad(gapIp(44), colAddr(edge));
+    emitLoad(gapIp(45), kColBase + 0x20000000ull + 4ull * edge);  // weight
+    emitLoad(gapIp(46), propAddr(0, v));  // dist[v]
+    bool relax = rng.nextBool(0.15);
+    emitBranch(gapIp(47), relax);
+    if (relax)
+        emitStore(gapIp(48), propAddr(0, v));
+    emitAlu(gapIp(49), aluPerMem);
+    ++edge;
+}
+
+void
+GapGen::stepBc()
+{
+    if (backward) {
+        // Dependency accumulation: reverse vertex order, sigma/delta
+        // gathers over neighbours (chaotic IPs per the paper).
+        if (edge >= edgeEnd) {
+            if (backNode == 0) {
+                backward = false;
+                return;
+            }
+            --backNode;
+            emitRow(60, backNode);
+            emitLoad(gapIp(62), propAddr(1, backNode));  // sigma[u]
+            edge = g->rowPtr[backNode];
+            edgeEnd = g->rowPtr[backNode + 1];
+            emitAlu(gapIp(63), aluPerMem);
+            return;
+        }
+        std::uint32_t v = g->col[edge];
+        emitLoad(gapIp(64), colAddr(edge));
+        emitLoad(gapIp(65), propAddr(1, v));  // sigma[v]
+        emitLoad(gapIp(66), propAddr(2, v));  // delta[v]
+        emitStore(gapIp(67), propAddr(2, backNode));
+        emitAlu(gapIp(68), aluPerMem);
+        ++edge;
+        return;
+    }
+    // Forward phase reuses BFS, with sigma updates on discovery. When the
+    // BFS exhausts (epoch bump on restart) switch to the backward pass.
+    std::uint32_t epoch_before = epoch;
+    stepBfs();
+    if (epoch != epoch_before) {
+        backward = true;
+        backNode = g->numNodes;
+        edge = edgeEnd = 0;
+    }
+}
+
+} // namespace berti

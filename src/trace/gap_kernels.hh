@@ -1,0 +1,88 @@
+/**
+ * @file
+ * GAP benchmark kernels (bfs, pagerank, cc, sssp, bc) executed over CSR
+ * graphs, emitting the kernels' memory reference streams as traces. The
+ * memory behaviour of the real GAP suite is a function of graph topology +
+ * CSR layout + kernel access sites, all of which are reproduced here.
+ */
+
+#ifndef BERTI_TRACE_GAP_KERNELS_HH
+#define BERTI_TRACE_GAP_KERNELS_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "trace/generators.hh"
+#include "trace/graph.hh"
+
+namespace berti
+{
+
+/** Which GAP kernel a GapGen instance runs. */
+enum class GapKernel
+{
+    Bfs,       //!< breadth-first search, restart on exhaustion
+    PageRank,  //!< pull-based PR iterations
+    Cc,        //!< label-propagation connected components
+    Sssp,      //!< Bellman-Ford-style relaxation rounds
+    Bc         //!< betweenness centrality: forward BFS + backward gather
+};
+
+/**
+ * Trace generator that actually executes a GAP kernel over a shared CSR
+ * graph and emits one trace instruction per memory reference (plus ALU
+ * padding and loop branches). Access sites have fixed IPs:
+ *
+ *   - frontier/queue reads and rowPtr reads are sequential (regular IPs);
+ *   - col[] reads within a neighbour range are sequential;
+ *   - property-array gathers (rank/dist/comp/visited) are irregular,
+ *     topology-driven accesses — the "chaotic IPs" of the paper's bc-5
+ *     analysis.
+ */
+class GapGen : public QueuedGen
+{
+  public:
+    GapGen(GapKernel kernel, std::shared_ptr<const Csr> graph,
+           std::uint64_t seed = 11, unsigned alu_per_mem = 2);
+
+  protected:
+    void refill() override;
+
+  private:
+    void stepBfs();
+    void stepPageRank();
+    void stepCc();
+    void stepSssp();
+    void stepBc();
+
+    Addr rowPtrAddr(std::uint32_t node) const;
+    Addr colAddr(std::uint64_t edge) const;
+    Addr propAddr(unsigned array, std::uint32_t node) const;
+
+    /** Emit the CSR row lookup for a node (two sequential 4 B reads). */
+    void emitRow(unsigned site, std::uint32_t node);
+
+    GapKernel kernel;
+    std::shared_ptr<const Csr> g;
+    Rng rng;
+    unsigned aluPerMem;
+
+    // Kernel cursors.
+    std::uint32_t node = 0;       //!< current vertex
+    std::uint64_t edge = 0;       //!< current edge within the vertex
+    std::uint64_t edgeEnd = 0;
+
+    // BFS/BC state.
+    std::vector<std::uint32_t> visitedEpoch;
+    std::uint32_t epoch = 0;
+    std::vector<std::uint32_t> frontier;
+    std::vector<std::uint32_t> nextFrontier;
+    std::size_t frontierPos = 0;
+    bool backward = false;        //!< BC backward phase
+    std::uint32_t backNode = 0;
+};
+
+} // namespace berti
+
+#endif // BERTI_TRACE_GAP_KERNELS_HH

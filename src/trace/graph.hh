@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Compressed-sparse-row graphs and deterministic synthetic topology
+ * builders used as inputs for the GAP benchmark kernels (paper uses
+ * Twitter/Web/Road real graphs and Kron/Urand synthetic graphs; we build
+ * the synthetic classes: power-law, uniform random and road-like grid).
+ */
+
+#ifndef BERTI_TRACE_GRAPH_HH
+#define BERTI_TRACE_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace berti
+{
+
+/** Immutable CSR adjacency structure. */
+struct Csr
+{
+    std::uint32_t numNodes = 0;
+    std::vector<std::uint32_t> rowPtr;  //!< numNodes + 1 offsets
+    std::vector<std::uint32_t> col;     //!< edge targets
+
+    std::uint64_t numEdges() const { return col.size(); }
+
+    std::uint32_t
+    degree(std::uint32_t node) const
+    {
+        return rowPtr[node + 1] - rowPtr[node];
+    }
+
+    /** Structural sanity: monotone rowPtr, in-range targets. */
+    bool valid() const;
+};
+
+/** Erdős–Rényi-style uniform random graph (Urand in GAP). */
+Csr makeUniformGraph(std::uint32_t nodes, std::uint32_t avg_degree,
+                     std::uint64_t seed);
+
+/**
+ * Power-law graph approximating a Kronecker/RMAT topology (Kron in GAP):
+ * edge targets drawn from a Zipf distribution so a few hubs accumulate
+ * most edges.
+ */
+Csr makeKronGraph(std::uint32_t nodes, std::uint32_t avg_degree,
+                  std::uint64_t seed);
+
+/**
+ * Road-network-like graph: a 2-D grid with 4-neighbour connectivity and
+ * a sprinkle of shortcut edges. High diameter, tiny degree, like Road.
+ */
+Csr makeRoadGraph(std::uint32_t width, std::uint32_t height,
+                  std::uint64_t seed);
+
+} // namespace berti
+
+#endif // BERTI_TRACE_GRAPH_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Trace instruction format consumed by the out-of-order core model and the
+ * abstract generator interface every synthetic workload implements.
+ */
+
+#ifndef BERTI_TRACE_INSTR_HH
+#define BERTI_TRACE_INSTR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace berti
+{
+
+/**
+ * One dynamic instruction of a trace. Mirrors the information content of a
+ * ChampSim trace record: instruction pointer, up to two data sources, one
+ * data destination and branch outcome. The extra dependsOnPrevLoad flag
+ * expresses an address dependence on the most recent earlier load (pointer
+ * chasing), which ChampSim encodes through register numbers.
+ */
+struct TraceInstr
+{
+    Addr ip = 0;                 //!< virtual instruction pointer
+    Addr load0 = kNoAddr;        //!< first data-read byte address
+    Addr load1 = kNoAddr;        //!< second data-read byte address
+    Addr store = kNoAddr;        //!< data-write byte address
+    bool isBranch = false;
+    bool taken = false;          //!< actual outcome, used for training
+    bool dependsOnPrevLoad = false;  //!< load0 address depends on prior load
+
+    bool isLoad() const { return load0 != kNoAddr; }
+    bool isStore() const { return store != kNoAddr; }
+    bool isMem() const { return isLoad() || isStore(); }
+};
+
+/**
+ * Abstract infinite instruction stream. Generators are deterministic: two
+ * instances constructed with the same parameters yield identical streams.
+ */
+class TraceGenerator
+{
+  public:
+    virtual ~TraceGenerator() = default;
+
+    /** Produce the next dynamic instruction. Streams never terminate. */
+    virtual TraceInstr next() = 0;
+};
+
+/**
+ * Replays a fixed instruction vector cyclically. Used by unit tests and
+ * the didactic Figure 2/4 bench, where an exactly scripted address
+ * sequence is required.
+ */
+class ScriptedGen : public TraceGenerator
+{
+  public:
+    explicit ScriptedGen(std::vector<TraceInstr> instrs)
+        : script(std::move(instrs))
+    {}
+
+    TraceInstr
+    next() override
+    {
+        TraceInstr i = script[pos];
+        pos = (pos + 1) % script.size();
+        return i;
+    }
+
+  private:
+    std::vector<TraceInstr> script;
+    std::size_t pos = 0;
+};
+
+} // namespace berti
+
+#endif // BERTI_TRACE_INSTR_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Named workload registry. Workloads are grouped into the three suites of
+ * the paper's evaluation (memory-intensive SPEC CPU2017-like, GAP, and
+ * CloudSuite-like); every bench and example addresses workloads by name.
+ */
+
+#ifndef BERTI_TRACE_REGISTRY_HH
+#define BERTI_TRACE_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/instr.hh"
+
+namespace berti
+{
+
+/** A named, reproducible workload. */
+struct Workload
+{
+    std::string name;   //!< e.g. "mcf-like.1554"
+    std::string suite;  //!< "spec", "gap" or "cloud"
+    std::function<std::unique_ptr<TraceGenerator>()> make;
+};
+
+/** Every registered workload, in a stable order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Workloads of one suite ("spec", "gap", "cloud"). */
+std::vector<Workload> suiteWorkloads(const std::string &suite);
+
+/** Workloads of the spec+gap union the paper averages over. */
+std::vector<Workload> specGapWorkloads();
+
+/** Look up one workload by name; throws std::out_of_range if unknown. */
+const Workload &findWorkload(const std::string &name);
+
+} // namespace berti
+
+#endif // BERTI_TRACE_REGISTRY_HH

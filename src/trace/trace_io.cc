@@ -1,0 +1,140 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace berti
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'B', 'E', 'R', 'T', 'I', 'T', 'R', '1'};
+
+/** On-disk record: fixed 35-byte layout, little-endian. */
+struct Record
+{
+    std::uint64_t ip;
+    std::uint64_t load0;
+    std::uint64_t load1;
+    std::uint64_t store;
+    std::uint8_t flags;  //!< bit0 branch, bit1 taken, bit2 dep-load
+};
+
+Record
+pack(const TraceInstr &in)
+{
+    Record r;
+    r.ip = in.ip;
+    r.load0 = in.load0;
+    r.load1 = in.load1;
+    r.store = in.store;
+    r.flags = static_cast<std::uint8_t>(
+        (in.isBranch ? 1 : 0) | (in.taken ? 2 : 0) |
+        (in.dependsOnPrevLoad ? 4 : 0));
+    return r;
+}
+
+TraceInstr
+unpack(const Record &r)
+{
+    TraceInstr in;
+    in.ip = r.ip;
+    in.load0 = r.load0;
+    in.load1 = r.load1;
+    in.store = r.store;
+    in.isBranch = r.flags & 1;
+    in.taken = r.flags & 2;
+    in.dependsOnPrevLoad = r.flags & 4;
+    return in;
+}
+
+bool
+writeRecord(std::FILE *f, const Record &r)
+{
+    return std::fwrite(&r.ip, 8, 1, f) == 1 &&
+           std::fwrite(&r.load0, 8, 1, f) == 1 &&
+           std::fwrite(&r.load1, 8, 1, f) == 1 &&
+           std::fwrite(&r.store, 8, 1, f) == 1 &&
+           std::fwrite(&r.flags, 1, 1, f) == 1;
+}
+
+bool
+readRecord(std::FILE *f, Record &r)
+{
+    return std::fread(&r.ip, 8, 1, f) == 1 &&
+           std::fread(&r.load0, 8, 1, f) == 1 &&
+           std::fread(&r.load1, 8, 1, f) == 1 &&
+           std::fread(&r.store, 8, 1, f) == 1 &&
+           std::fread(&r.flags, 1, 1, f) == 1;
+}
+
+} // namespace
+
+bool
+saveTrace(const std::string &path, TraceGenerator &gen,
+          std::uint64_t count)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1 &&
+              std::fwrite(&count, 8, 1, f) == 1;
+    for (std::uint64_t i = 0; ok && i < count; ++i)
+        ok = writeRecord(f, pack(gen.next()));
+    return std::fclose(f) == 0 && ok;
+}
+
+bool
+saveTrace(const std::string &path, const std::vector<TraceInstr> &instrs)
+{
+    ScriptedGen gen(instrs.empty()
+                        ? std::vector<TraceInstr>{TraceInstr{}}
+                        : instrs);
+    return saveTrace(path, gen, instrs.size());
+}
+
+std::vector<TraceInstr>
+loadTrace(const std::string &path)
+{
+    std::vector<TraceInstr> out;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char magic[8];
+    std::uint64_t count = 0;
+    if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
+        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
+        std::fread(&count, 8, 1, f) != 1) {
+        std::fclose(f);
+        return out;
+    }
+    out.reserve(count);
+    Record r;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!readRecord(f, r)) {
+            out.clear();  // truncated: reject the whole file
+            break;
+        }
+        out.push_back(unpack(r));
+    }
+    std::fclose(f);
+    return out;
+}
+
+FileReplayGen::FileReplayGen(const std::string &path)
+    : instrs(loadTrace(path))
+{
+    if (instrs.empty())
+        throw std::runtime_error("cannot load trace: " + path);
+}
+
+TraceInstr
+FileReplayGen::next()
+{
+    TraceInstr in = instrs[pos];
+    pos = (pos + 1) % instrs.size();
+    return in;
+}
+
+} // namespace berti

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Binary trace files: record any generator's output to disk and replay
+ * it later, so experiments can be pinned to an exact instruction stream
+ * (the role ChampSim's .trace.xz files play for the paper's artifact).
+ *
+ * Format: 16-byte magic+header, then fixed-size little-endian records.
+ */
+
+#ifndef BERTI_TRACE_TRACE_IO_HH
+#define BERTI_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/instr.hh"
+
+namespace berti
+{
+
+/** Write count instructions pulled from gen to path. @return success. */
+bool saveTrace(const std::string &path, TraceGenerator &gen,
+               std::uint64_t count);
+
+/** Write an explicit instruction vector to path. */
+bool saveTrace(const std::string &path,
+               const std::vector<TraceInstr> &instrs);
+
+/**
+ * Load a whole trace file into memory. Returns an empty vector on any
+ * format error (missing file, bad magic, truncated record).
+ */
+std::vector<TraceInstr> loadTrace(const std::string &path);
+
+/**
+ * Replays a trace file cyclically, streaming from memory after a single
+ * load. Throws std::runtime_error if the file cannot be parsed.
+ */
+class FileReplayGen : public TraceGenerator
+{
+  public:
+    explicit FileReplayGen(const std::string &path);
+
+    TraceInstr next() override;
+
+    std::size_t traceLength() const { return instrs.size(); }
+
+  private:
+    std::vector<TraceInstr> instrs;
+    std::size_t pos = 0;
+};
+
+} // namespace berti
+
+#endif // BERTI_TRACE_TRACE_IO_HH

@@ -1,0 +1,42 @@
+#include "vm/page_table.hh"
+
+namespace berti
+{
+
+PageTable::PageTable(std::uint64_t seed)
+{
+    // Derive three round keys with splitmix64.
+    std::uint64_t x = seed;
+    for (auto &k : keys) {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        k = z ^ (z >> 31);
+    }
+}
+
+std::uint32_t
+PageTable::round(std::uint32_t half, std::uint64_t key) const
+{
+    std::uint64_t v = (half ^ key) * 0x2545f4914f6cdd1dull;
+    return static_cast<std::uint32_t>(v >> 24) & kHalfMask;
+}
+
+Addr
+PageTable::translatePage(Addr vpage) const
+{
+    // 3-round balanced Feistel network over 2*kHalfBits bits: a bijection,
+    // hence no two virtual pages alias the same physical page.
+    std::uint32_t left =
+        static_cast<std::uint32_t>(vpage >> kHalfBits) & kHalfMask;
+    std::uint32_t right = static_cast<std::uint32_t>(vpage) & kHalfMask;
+    for (const auto &k : keys) {
+        std::uint32_t new_right = left ^ round(right, k);
+        left = right;
+        right = new_right;
+    }
+    return (static_cast<Addr>(left) << kHalfBits) | right;
+}
+
+} // namespace berti

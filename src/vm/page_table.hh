@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic virtual-to-physical page mapping. A keyed Feistel
+ * permutation over the page number gives a stateless, collision-free,
+ * access-order-independent mapping, so different prefetcher runs see the
+ * identical physical layout (important for fair cross-config comparison).
+ */
+
+#ifndef BERTI_VM_PAGE_TABLE_HH
+#define BERTI_VM_PAGE_TABLE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace berti
+{
+
+class PageTable
+{
+  public:
+    explicit PageTable(std::uint64_t seed = 0xA5A5u);
+
+    /** Virtual page number -> physical page number (40-bit domain). */
+    Addr translatePage(Addr vpage) const;
+
+    /** Virtual byte address -> physical byte address. */
+    Addr
+    translate(Addr vaddr) const
+    {
+        return (translatePage(pageAddr(vaddr)) << kPageBits) |
+               pageOffset(vaddr);
+    }
+
+  private:
+    static constexpr unsigned kHalfBits = 20;  //!< 40-bit page domain
+    static constexpr std::uint32_t kHalfMask = (1u << kHalfBits) - 1;
+
+    std::uint32_t round(std::uint32_t half, std::uint64_t key) const;
+
+    std::uint64_t keys[3];
+};
+
+} // namespace berti
+
+#endif // BERTI_VM_PAGE_TABLE_HH

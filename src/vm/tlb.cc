@@ -1,0 +1,87 @@
+#include "vm/tlb.hh"
+
+namespace berti
+{
+
+Tlb::Tlb(unsigned sets, unsigned ways, Cycle latency)
+    : sets(sets), ways(ways), lat(latency),
+      entries(static_cast<std::size_t>(sets) * ways)
+{}
+
+bool
+Tlb::lookup(Addr vpage)
+{
+    ++stats.accesses;
+    std::size_t base = static_cast<std::size_t>(index(vpage)) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (entries[base + w].vpage == vpage) {
+            entries[base + w].stamp = ++tick;
+            return true;
+        }
+    }
+    ++stats.misses;
+    return false;
+}
+
+bool
+Tlb::probe(Addr vpage) const
+{
+    std::size_t base = static_cast<std::size_t>(index(vpage)) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (entries[base + w].vpage == vpage)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::fill(Addr vpage)
+{
+    std::size_t base = static_cast<std::size_t>(index(vpage)) * ways;
+    std::size_t victim = base;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (entries[base + w].vpage == vpage)
+            return;  // already present
+        if (entries[base + w].stamp < entries[victim].stamp)
+            victim = base + w;
+    }
+    entries[victim].vpage = vpage;
+    entries[victim].stamp = ++tick;
+}
+
+TranslationUnit::TranslationUnit(const Config &cfg)
+    : l1(cfg.dtlbSets, cfg.dtlbWays, cfg.dtlbLatency),
+      l2(cfg.stlbSets, cfg.stlbWays, cfg.stlbLatency),
+      walkLatency(cfg.walkLatency), pt(cfg.pageSeed)
+{}
+
+TranslationUnit::Result
+TranslationUnit::translate(Addr vaddr)
+{
+    Addr vpage = pageAddr(vaddr);
+    Cycle latency = l1.latency();
+    if (!l1.lookup(vpage)) {
+        latency += l2.latency();
+        if (!l2.lookup(vpage)) {
+            latency += walkLatency;
+            l2.fill(vpage);
+        }
+        l1.fill(vpage);
+    }
+    return {latency, pt.translate(vaddr)};
+}
+
+bool
+TranslationUnit::prefetchTranslate(Addr vaddr, Addr &paddr)
+{
+    Addr vpage = pageAddr(vaddr);
+    ++l2.stats.prefetchProbes;
+    if (!l2.probe(vpage)) {
+        ++l2.stats.prefetchProbeMisses;
+        return false;
+    }
+    paddr = pt.translate(vaddr);
+    return true;
+}
+
+} // namespace berti

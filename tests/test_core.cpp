@@ -1,0 +1,196 @@
+/** @file Core pipeline tests, driven through the Machine harness with
+ *  scripted traces. */
+
+#include <gtest/gtest.h>
+
+#include "harness/machine.hh"
+#include "sim/rng.hh"
+
+namespace berti
+{
+
+namespace
+{
+
+TraceInstr
+alu(Addr ip)
+{
+    TraceInstr in;
+    in.ip = ip;
+    return in;
+}
+
+TraceInstr
+loadAt(Addr ip, Addr addr, bool dep = false)
+{
+    TraceInstr in;
+    in.ip = ip;
+    in.load0 = addr;
+    in.dependsOnPrevLoad = dep;
+    return in;
+}
+
+TraceInstr
+branch(Addr ip, bool taken)
+{
+    TraceInstr in;
+    in.ip = ip;
+    in.isBranch = true;
+    in.taken = taken;
+    return in;
+}
+
+RunStats
+runScript(std::vector<TraceInstr> script, std::uint64_t instructions)
+{
+    ScriptedGen gen(std::move(script));
+    MachineConfig cfg = MachineConfig::sunnyCove(1);
+    Machine m(cfg, {&gen});
+    m.run(instructions);
+    return m.liveStats(0);
+}
+
+} // namespace
+
+TEST(Core, RetiresRequestedInstructionCount)
+{
+    RunStats s = runScript({alu(0x400000)}, 10000);
+    EXPECT_GE(s.core.instructions, 10000u);
+}
+
+TEST(Core, AluOnlyIpcBoundedByRetireWidth)
+{
+    RunStats s = runScript({alu(0x400000), alu(0x400004), alu(0x400008),
+                            alu(0x40000c)},
+                           50000);
+    double ipc = s.core.ipc();
+    EXPECT_GT(ipc, 3.0);  // approaches the 4-wide retire limit
+    EXPECT_LE(ipc, 4.05);
+}
+
+TEST(Core, CacheResidentLoadsAreFast)
+{
+    // Loads that hit one hot line after warm-up.
+    RunStats s = runScript({loadAt(0x400000, 0x10000000), alu(0x400004),
+                            alu(0x400008)},
+                           50000);
+    EXPECT_GT(s.core.ipc(), 2.0);
+    EXPECT_LE(s.l1d.mpki(s.core.instructions), 1.0);
+}
+
+TEST(Core, DependentChaseIsLatencyBound)
+{
+    // Two scripts over the same two lines: independent vs dependent.
+    std::vector<TraceInstr> indep, dep;
+    for (int i = 0; i < 8; ++i) {
+        indep.push_back(loadAt(0x400000, 0x20000000ull + (i % 2) * 64));
+        dep.push_back(
+            loadAt(0x400000, 0x20000000ull + (i % 2) * 64, true));
+    }
+    RunStats si = runScript(indep, 20000);
+    RunStats sd = runScript(dep, 20000);
+    // Serialized address dependences cannot beat the parallel version.
+    EXPECT_LE(sd.core.ipc(), si.core.ipc() + 0.01);
+}
+
+TEST(Core, MispredictsSlowTheFrontEnd)
+{
+    Rng rng(3);
+    std::vector<TraceInstr> random_branches, biased_branches;
+    for (int i = 0; i < 64; ++i) {
+        random_branches.push_back(alu(0x400000 + 8 * i));
+        random_branches.push_back(
+            branch(0x400004 + 8 * i, rng.nextBool(0.5)));
+        biased_branches.push_back(alu(0x400000 + 8 * i));
+        biased_branches.push_back(branch(0x400004 + 8 * i, true));
+    }
+    RunStats sr = runScript(random_branches, 30000);
+    RunStats sb = runScript(biased_branches, 30000);
+    EXPECT_GT(sr.core.mispredicts, sb.core.mispredicts * 5);
+    EXPECT_LT(sr.core.ipc(), sb.core.ipc());
+}
+
+TEST(Core, BranchStatsCounted)
+{
+    RunStats s = runScript({branch(0x400000, true), alu(0x400004)}, 10000);
+    EXPECT_NEAR(static_cast<double>(s.core.branches) /
+                    s.core.instructions,
+                0.5, 0.05);
+}
+
+TEST(Core, LoadStoreCountsMatchScript)
+{
+    TraceInstr st;
+    st.ip = 0x400008;
+    st.store = 0x30000000;
+    RunStats s =
+        runScript({loadAt(0x400000, 0x20000000), st, alu(0x400010)},
+                  30000);
+    EXPECT_NEAR(static_cast<double>(s.core.loads) / s.core.instructions,
+                1.0 / 3.0, 0.05);
+    EXPECT_NEAR(static_cast<double>(s.core.stores) / s.core.instructions,
+                1.0 / 3.0, 0.05);
+}
+
+TEST(Core, HugeCodeFootprintMissesInL1i)
+{
+    std::vector<TraceInstr> script;
+    for (int i = 0; i < 4096; ++i)
+        script.push_back(alu(0x400000 + 64 * i));  // new line each instr
+    RunStats s = runScript(script, 30000);
+    EXPECT_GT(s.l1i.demandMisses, 100u);
+}
+
+TEST(Core, StoresReachTheCacheAsRfo)
+{
+    TraceInstr st;
+    st.ip = 0x400000;
+    st.store = 0x40000000;
+    RunStats s = runScript({st, alu(0x400004)}, 20000);
+    EXPECT_GT(s.l1d.demandAccesses, 1000u);
+}
+
+TEST(Machine, MultiCoreRunsAllCores)
+{
+    ScriptedGen g0({alu(0x400000)});
+    ScriptedGen g1({loadAt(0x400000, 0x20000000)});
+    MachineConfig cfg = MachineConfig::sunnyCove(2);
+    Machine m(cfg, {&g0, &g1});
+    m.run(5000);
+    EXPECT_GE(m.coreSnapshot(0).core.instructions, 5000u);
+    EXPECT_GE(m.coreSnapshot(1).core.instructions, 5000u);
+}
+
+TEST(Machine, SnapshotTakenAtPerCoreTarget)
+{
+    // A fast ALU core and a slow memory-bound core: the fast core's
+    // snapshot must be taken early (fewer cycles than the full run).
+    ScriptedGen fast({alu(0x400000)});
+    std::vector<TraceInstr> chase;
+    for (int i = 0; i < 64; ++i)
+        chase.push_back(loadAt(0x400000, 0x20000000ull + 64 * i, true));
+    ScriptedGen slow(chase);
+    MachineConfig cfg = MachineConfig::sunnyCove(2);
+    Machine m(cfg, {&fast, &slow});
+    m.run(20000);
+    EXPECT_LT(m.coreSnapshot(0).core.cycles,
+              m.coreSnapshot(1).core.cycles);
+}
+
+TEST(Machine, SunnyCoveMatchesTableTwo)
+{
+    MachineConfig cfg = MachineConfig::sunnyCove(1);
+    EXPECT_EQ(cfg.core.robSize, 352u);
+    EXPECT_EQ(cfg.core.dispatchWidth, 6u);
+    EXPECT_EQ(cfg.core.retireWidth, 4u);
+    EXPECT_EQ(cfg.l1d.sets * cfg.l1d.ways * kLineSize, 48u * 1024);
+    EXPECT_EQ(cfg.l1d.latency, 5u);
+    EXPECT_EQ(cfg.l1d.mshrs, 16u);
+    EXPECT_EQ(cfg.l2.sets * cfg.l2.ways * kLineSize, 512u * 1024);
+    EXPECT_EQ(cfg.l2.repl, ReplKind::Srrip);
+    EXPECT_EQ(cfg.llc.sets * cfg.llc.ways * kLineSize, 2048u * 1024);
+    EXPECT_EQ(cfg.llc.repl, ReplKind::Drrip);
+    EXPECT_EQ(cfg.dram.mtps, 6400u);
+}
+
+} // namespace berti

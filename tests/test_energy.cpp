@@ -1,0 +1,74 @@
+/** @file Energy-model tests. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace berti
+{
+
+TEST(Energy, ZeroStatsZeroEnergy)
+{
+    EnergyModel model;
+    RunStats s;
+    EXPECT_DOUBLE_EQ(model.evaluate(s).total(), 0.0);
+}
+
+TEST(Energy, BreakdownSumsToTotal)
+{
+    EnergyModel model;
+    RunStats s;
+    s.l1d.dataReads = 1000;
+    s.l2.dataReads = 100;
+    s.llc.dataReads = 10;
+    s.dram.reads = 5;
+    EnergyBreakdown e = model.evaluate(s);
+    EXPECT_DOUBLE_EQ(e.total(), e.l1 + e.l2 + e.llc + e.dram);
+    EXPECT_GT(e.l1, 0.0);
+    EXPECT_GT(e.dram, 0.0);
+}
+
+TEST(Energy, DramDominatesPerAccess)
+{
+    EnergyModel model;
+    RunStats a, b;
+    a.l1d.dataReads = 1;
+    b.dram.reads = 1;
+    EXPECT_GT(model.evaluate(b).total(), 100 * model.evaluate(a).total());
+}
+
+TEST(Energy, MonotoneInAccessCounts)
+{
+    EnergyModel model;
+    RunStats s;
+    s.l2.dataWrites = 50;
+    double e1 = model.evaluate(s).total();
+    s.l2.dataWrites = 100;
+    double e2 = model.evaluate(s).total();
+    EXPECT_GT(e2, e1);
+}
+
+TEST(Energy, CustomParamsRespected)
+{
+    EnergyParams p;
+    p.dramRead = 1.0;
+    EnergyModel cheap(p);
+    EnergyModel expensive;  // default ~15 nJ per read
+    RunStats s;
+    s.dram.reads = 100;
+    EXPECT_LT(cheap.evaluate(s).total(), expensive.evaluate(s).total());
+}
+
+TEST(Energy, LevelsOrderedByCost)
+{
+    // Per-access cost must grow down the hierarchy (bigger arrays).
+    EnergyModel model;
+    RunStats l1, l2, llc;
+    l1.l1d.dataReads = 1;
+    l2.l2.dataReads = 1;
+    llc.llc.dataReads = 1;
+    EXPECT_LT(model.evaluate(l1).total(), model.evaluate(l2).total());
+    EXPECT_LT(model.evaluate(l2).total(), model.evaluate(llc).total());
+}
+
+} // namespace berti

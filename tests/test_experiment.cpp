@@ -1,0 +1,194 @@
+/** @file Harness tests: spec parsing, table printing, simulation
+ *  determinism. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/table.hh"
+
+namespace berti
+{
+
+TEST(Spec, ParsesSingleLevelNames)
+{
+    for (const char *name : {"none", "ip-stride", "next-line", "bop",
+                             "mlop", "ipcp", "berti"}) {
+        PrefetcherSpec s = makeSpec(name);
+        EXPECT_EQ(s.name, name);
+        EXPECT_EQ(s.l2, nullptr);
+        if (std::string(name) == "none")
+            EXPECT_EQ(s.l1d, nullptr);
+        else
+            EXPECT_NE(s.l1d, nullptr);
+    }
+}
+
+TEST(Spec, ParsesMultiLevelCombos)
+{
+    PrefetcherSpec s = makeSpec("berti+spp-ppf");
+    ASSERT_NE(s.l1d, nullptr);
+    ASSERT_NE(s.l2, nullptr);
+    EXPECT_EQ(s.l1d()->name(), "berti");
+    EXPECT_EQ(s.l2()->name(), "spp-ppf");
+    EXPECT_GT(s.storageBits, makeSpec("berti").storageBits);
+}
+
+TEST(Spec, L2OnlyCombo)
+{
+    PrefetcherSpec s = makeSpec("none+bingo");
+    EXPECT_EQ(s.l1d, nullptr);
+    ASSERT_NE(s.l2, nullptr);
+    EXPECT_EQ(s.l2()->name(), "bingo");
+}
+
+TEST(Spec, UnknownNameThrows)
+{
+    EXPECT_THROW(makeSpec("quantum-oracle"), std::out_of_range);
+}
+
+TEST(Spec, BertiStorageIsTwoPointFiveFiveKb)
+{
+    PrefetcherSpec s = makeSpec("berti");
+    EXPECT_NEAR(static_cast<double>(s.storageBits) / 8192.0, 2.55, 0.06);
+}
+
+TEST(Spec, CustomBertiConfigPropagates)
+{
+    BertiConfig cfg;
+    cfg.crossPage = false;
+    PrefetcherSpec s = makeBertiSpec(cfg, "berti-nocross");
+    EXPECT_EQ(s.name, "berti-nocross");
+    auto pf = s.l1d();
+    auto *b = dynamic_cast<BertiPrefetcher *>(pf.get());
+    ASSERT_NE(b, nullptr);
+    EXPECT_FALSE(b->config().crossPage);
+}
+
+TEST(TableTest, AlignedOutputContainsCells)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", TextTable::num(1.5, 1)});
+    t.addRow({"b", TextTable::pct(0.5)});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("50.0%"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded)
+{
+    TextTable t({"a", "b", "c"});
+    t.addRow({"only-one"});
+    std::ostringstream os;
+    t.print(os);
+    SUCCEED();
+}
+
+// ------------------------------------------------------- simulations
+
+TEST(Simulate, DeterministicAcrossRuns)
+{
+    SimParams p;
+    p.warmupInstructions = 5000;
+    p.measureInstructions = 20000;
+    const Workload &w = findWorkload("stream-like.1");
+    SimResult a = simulate(w, makeSpec("berti"), p);
+    SimResult b = simulate(w, makeSpec("berti"), p);
+    EXPECT_EQ(a.roi.core.cycles, b.roi.core.cycles);
+    EXPECT_EQ(a.roi.l1d.demandMisses, b.roi.l1d.demandMisses);
+    EXPECT_EQ(a.roi.l1d.prefetchIssued, b.roi.l1d.prefetchIssued);
+}
+
+TEST(Simulate, BertiBeatsNoPrefetchOnStreams)
+{
+    SimParams p;
+    p.warmupInstructions = 20000;
+    p.measureInstructions = 80000;
+    const Workload &w = findWorkload("stream-like.1");
+    SimResult none = simulate(w, makeSpec("none"), p);
+    SimResult berti = simulate(w, makeSpec("berti"), p);
+    EXPECT_GT(berti.ipc, 1.15 * none.ipc);
+    EXPECT_LT(berti.roi.l1d.demandMisses, none.roi.l1d.demandMisses);
+}
+
+TEST(Simulate, BertiIsAccurateOnStreams)
+{
+    SimParams p;
+    p.warmupInstructions = 20000;
+    p.measureInstructions = 80000;
+    SimResult r =
+        simulate(findWorkload("stream-like.1"), makeSpec("berti"), p);
+    EXPECT_GT(r.roi.l1d.accuracy(), 0.85);
+}
+
+TEST(Simulate, EnergyScalesWithTraffic)
+{
+    SimParams p;
+    p.warmupInstructions = 5000;
+    p.measureInstructions = 30000;
+    const Workload &w = findWorkload("stream-like.1");
+    SimResult none = simulate(w, makeSpec("none"), p);
+    EXPECT_GT(none.energy.total(), 0.0);
+    EXPECT_GT(none.energy.dram, none.energy.l1);
+}
+
+TEST(Simulate, DramBandwidthKnobChangesPerformance)
+{
+    SimParams fast, slow;
+    fast.warmupInstructions = slow.warmupInstructions = 10000;
+    fast.measureInstructions = slow.measureInstructions = 50000;
+    fast.dramMtps = 6400;
+    slow.dramMtps = 1600;
+    const Workload &w = findWorkload("stream-like.1");
+    SimResult f = simulate(w, makeSpec("none"), fast);
+    SimResult s = simulate(w, makeSpec("none"), slow);
+    EXPECT_GT(f.ipc, s.ipc);
+}
+
+TEST(SimulateMix, ProducesPerCoreResults)
+{
+    SimParams p;
+    p.warmupInstructions = 3000;
+    p.measureInstructions = 15000;
+    std::vector<Workload> mix = {findWorkload("stream-like.1"),
+                                 findWorkload("gcc-like.2226")};
+    auto results = simulateMix(mix, makeSpec("berti"), p);
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &r : results) {
+        EXPECT_GE(r.roi.core.instructions, p.measureInstructions);
+        EXPECT_GT(r.ipc, 0.0);
+    }
+}
+
+TEST(SimulateMix, SharedLlcSeesBothCores)
+{
+    SimParams p;
+    p.warmupInstructions = 3000;
+    p.measureInstructions = 15000;
+    std::vector<Workload> mix = {findWorkload("stream-like.1"),
+                                 findWorkload("omnetpp-like.874")};
+    auto results = simulateMix(mix, makeSpec("none"), p);
+    // Both cores funnel into one LLC: its access count exceeds either
+    // core's private L2 miss count.
+    EXPECT_GT(results[0].roi.llc.demandAccesses +
+                  results[1].roi.llc.demandAccesses,
+              results[0].roi.l2.demandMisses);
+}
+
+TEST(SpeedupGeomean, MatchesHandComputation)
+{
+    SimResult a, b, c, d;
+    a.ipc = 2.0;
+    b.ipc = 1.0;  // 2x
+    c.ipc = 1.0;
+    d.ipc = 2.0;  // 0.5x
+    double g = speedupGeomean({a, c}, {b, d});
+    EXPECT_NEAR(g, 1.0, 1e-9);
+}
+
+} // namespace berti

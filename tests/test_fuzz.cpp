@@ -1,0 +1,168 @@
+/** @file Randomised property tests: structural invariants of the cache
+ *  and the full machine under arbitrary request mixes. */
+
+#include <gtest/gtest.h>
+
+#include "harness/machine.hh"
+#include "mem/cache.hh"
+#include "sim/rng.hh"
+#include "test_util.hh"
+
+namespace berti
+{
+
+using test::stepCycles;
+using test::TestMemory;
+
+namespace
+{
+
+struct NullClient : ReadClient
+{
+    std::uint64_t completions = 0;
+
+    void readDone(const MemRequest &) override { ++completions; }
+};
+
+struct FuzzParams
+{
+    std::uint64_t seed;
+    unsigned sets;
+    unsigned ways;
+    unsigned mshrs;
+};
+
+} // namespace
+
+class CacheFuzz : public ::testing::TestWithParam<FuzzParams>
+{
+};
+
+TEST_P(CacheFuzz, InvariantsHoldUnderRandomTraffic)
+{
+    auto [seed, sets, ways, mshrs] = GetParam();
+    Cycle clock = 0;
+    CacheConfig cfg;
+    cfg.sets = sets;
+    cfg.ways = ways;
+    cfg.mshrs = mshrs;
+    cfg.latency = 3;
+    cfg.rqSize = 16;
+    cfg.pqSize = 8;
+    Cache cache(cfg, &clock);
+    TestMemory mem(&clock, 40);
+    cache.setLower(&mem);
+    NullClient client;
+    Rng rng(seed);
+
+    std::uint64_t submitted = 0;
+    for (int step = 0; step < 20000; ++step) {
+        std::uint64_t roll = rng.nextBounded(100);
+        Addr line = rng.nextBounded(4 * sets * ways);  // heavy conflicts
+        if (roll < 55) {
+            MemRequest req;
+            req.pLine = line;
+            req.vLine = line;
+            req.ip = 0x400000 + (line % 32) * 4;
+            req.type = roll < 40 ? AccessType::Load : AccessType::Rfo;
+            req.instrId = 1;
+            req.client = &client;
+            submitted += cache.submitRead(req) ? 1 : 0;
+        } else if (roll < 70) {
+            cache.submitWriteback(line);
+        } else if (roll < 85) {
+            cache.issuePrefetch(line, FillLevel::L1);
+        } else {
+            mem.refuseReads = roll < 90;  // transient backpressure
+        }
+        ++clock;
+        mem.tick();
+        cache.tick();
+        mem.refuseReads = false;
+
+        // Core invariants, checked continuously.
+        ASSERT_LE(cache.mshrsInUse(), mshrs);
+        ASSERT_LE(cache.rqOccupancy(), cfg.rqSize);
+        ASSERT_LE(cache.pqOccupancy(), cfg.pqSize);
+        ASSERT_GE(cache.stats.demandAccesses,
+                  cache.stats.demandHits + cache.stats.demandMisses);
+    }
+
+    // Drain: every accepted demand read must eventually complete.
+    stepCycles(clock, cache, mem, 5000);
+    EXPECT_EQ(client.completions, submitted);
+    EXPECT_EQ(cache.mshrsInUse(), 0u);
+    EXPECT_DOUBLE_EQ(cache.mshrOccupancy(), 0.0);
+
+    // Stats algebra holds at quiescence.
+    EXPECT_EQ(cache.stats.demandAccesses,
+              cache.stats.demandHits + cache.stats.demandMisses +
+                  cache.stats.demandMshrMerged);
+    EXPECT_GE(cache.stats.fills, cache.stats.prefetchFills);
+    EXPECT_GE(cache.stats.prefetchUseful + cache.stats.prefetchUseless,
+              0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheFuzz,
+    ::testing::Values(FuzzParams{1, 4, 2, 4}, FuzzParams{2, 16, 4, 8},
+                      FuzzParams{3, 64, 12, 16}, FuzzParams{4, 1, 1, 1},
+                      FuzzParams{5, 8, 16, 2}, FuzzParams{6, 2, 8, 32}));
+
+class MachineFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MachineFuzz, RandomWorkloadMachineStaysConsistent)
+{
+    // A random instruction mix through the whole machine: the run must
+    // terminate, retire the requested count, and keep stats sane.
+    class ChaosGen : public TraceGenerator
+    {
+      public:
+        explicit ChaosGen(std::uint64_t seed) : rng(seed) {}
+
+        TraceInstr
+        next() override
+        {
+            TraceInstr in;
+            in.ip = 0x400000 + 4 * rng.nextBounded(512);
+            std::uint64_t roll = rng.nextBounded(100);
+            if (roll < 30) {
+                in.load0 =
+                    0x10000000ull + 64 * rng.nextBounded(1u << 16);
+                in.dependsOnPrevLoad = roll < 5;
+            } else if (roll < 40) {
+                in.store =
+                    0x30000000ull + 64 * rng.nextBounded(1u << 14);
+            } else if (roll < 55) {
+                in.isBranch = true;
+                in.taken = rng.nextBool(0.6);
+            }
+            return in;
+        }
+
+      private:
+        Rng rng;
+    };
+
+    ChaosGen gen(GetParam());
+    MachineConfig cfg = MachineConfig::sunnyCove(1);
+    cfg.l1dPrefetcher = makeSpec("berti").l1d;
+    Machine m(cfg, {&gen});
+    m.run(30000);
+    RunStats s = m.liveStats(0);
+    EXPECT_GE(s.core.instructions, 30000u);
+    EXPECT_GT(s.core.cycles, 0u);
+    EXPECT_EQ(s.l1d.demandAccesses,
+              s.l1d.demandHits + s.l1d.demandMisses +
+                  s.l1d.demandMshrMerged);
+    EXPECT_LE(s.l1d.demandHits, s.l1d.demandAccesses);
+    EXPECT_LE(s.dram.rowHits + s.dram.rowMisses + s.dram.rowConflicts,
+              s.dram.reads + s.dram.writes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MachineFuzz,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+} // namespace berti

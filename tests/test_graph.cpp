@@ -1,0 +1,90 @@
+/** @file CSR graph builder tests. */
+
+#include <gtest/gtest.h>
+
+#include "trace/graph.hh"
+
+namespace berti
+{
+
+TEST(Graph, UniformIsValidWithExpectedDegree)
+{
+    Csr g = makeUniformGraph(1000, 8, 1);
+    EXPECT_TRUE(g.valid());
+    EXPECT_EQ(g.numNodes, 1000u);
+    EXPECT_EQ(g.numEdges(), 8000u);
+    for (std::uint32_t n = 0; n < g.numNodes; ++n)
+        EXPECT_EQ(g.degree(n), 8u);
+}
+
+TEST(Graph, KronIsValidAndSkewed)
+{
+    Csr g = makeKronGraph(4096, 8, 2);
+    EXPECT_TRUE(g.valid());
+    // Power-law in-degree: some hub receives far more than average.
+    std::vector<std::uint32_t> indeg(g.numNodes, 0);
+    for (std::uint32_t v : g.col)
+        ++indeg[v];
+    std::uint32_t max_in = 0;
+    for (std::uint32_t d : indeg)
+        max_in = std::max(max_in, d);
+    double avg = static_cast<double>(g.numEdges()) / g.numNodes;
+    EXPECT_GT(max_in, 10 * avg);
+}
+
+TEST(Graph, RoadIsValidSparseAndSymmetricish)
+{
+    Csr g = makeRoadGraph(50, 40, 3);
+    EXPECT_TRUE(g.valid());
+    EXPECT_EQ(g.numNodes, 2000u);
+    double avg = static_cast<double>(g.numEdges()) / g.numNodes;
+    EXPECT_GT(avg, 3.0);
+    EXPECT_LT(avg, 4.5);  // grid degree ~4 plus rare shortcuts
+}
+
+TEST(Graph, BuildersAreDeterministic)
+{
+    Csr a = makeKronGraph(2048, 8, 7);
+    Csr b = makeKronGraph(2048, 8, 7);
+    EXPECT_EQ(a.rowPtr, b.rowPtr);
+    EXPECT_EQ(a.col, b.col);
+    Csr c = makeKronGraph(2048, 8, 8);
+    EXPECT_NE(a.col, c.col);
+}
+
+TEST(Graph, ValidCatchesCorruption)
+{
+    Csr g = makeUniformGraph(100, 4, 1);
+    ASSERT_TRUE(g.valid());
+    Csr bad = g;
+    bad.col[0] = 100;  // out-of-range target
+    EXPECT_FALSE(bad.valid());
+    Csr bad2 = g;
+    bad2.rowPtr[5] = bad2.rowPtr[6] + 1;  // non-monotone
+    EXPECT_FALSE(bad2.valid());
+}
+
+struct GraphParam
+{
+    std::uint32_t nodes;
+    std::uint32_t degree;
+};
+
+class GraphSweep : public ::testing::TestWithParam<GraphParam>
+{
+};
+
+TEST_P(GraphSweep, UniformAndKronValidAtEveryScale)
+{
+    auto [nodes, degree] = GetParam();
+    EXPECT_TRUE(makeUniformGraph(nodes, degree, 9).valid());
+    EXPECT_TRUE(makeKronGraph(nodes, degree, 9).valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, GraphSweep,
+                         ::testing::Values(GraphParam{16, 2},
+                                           GraphParam{256, 4},
+                                           GraphParam{5000, 8},
+                                           GraphParam{1u << 15, 12}));
+
+} // namespace berti

@@ -1,0 +1,171 @@
+/** @file Cross-level hierarchy integration tests: writeback paths,
+ *  fill-level semantics, multi-core sharing and contention. */
+
+#include <gtest/gtest.h>
+
+#include "core/berti.hh"
+#include "harness/experiment.hh"
+#include "harness/machine.hh"
+#include "sim/rng.hh"
+
+namespace berti
+{
+
+namespace
+{
+
+SimParams
+quick()
+{
+    SimParams p;
+    p.warmupInstructions = 10000;
+    p.measureInstructions = 60000;
+    return p;
+}
+
+} // namespace
+
+namespace
+{
+
+/** Stores scattered over a region far larger than the LLC. */
+class ScatterStoreGen : public TraceGenerator
+{
+  public:
+    TraceInstr
+    next() override
+    {
+        // Read-modify-write so each instruction really waits for its
+        // line (stores alone retire immediately and would outrun the
+        // memory system before filling the hierarchy).
+        TraceInstr in;
+        in.ip = 0x400000;
+        Addr addr = 0x50000000ull +
+                    64ull * rng.nextBounded(3u << 14);  // 3 MB region
+        in.load0 = addr;
+        in.store = addr;
+        return in;
+    }
+
+  private:
+    Rng rng{77};
+};
+
+} // namespace
+
+TEST(Hierarchy, DirtyDataDrainsToDram)
+{
+    // Scattered stores over an LLC-exceeding region must produce DRAM
+    // writes via L1D -> L2 -> LLC writeback chains.
+    ScatterStoreGen gen;
+    Machine m(MachineConfig::sunnyCove(1), {&gen});
+    m.run(60000);
+    RunStats s = m.liveStats(0);
+    EXPECT_GT(s.l1d.writebacks, 0u);
+    EXPECT_GT(s.l2.writebacks, 0u);
+    EXPECT_GT(s.llc.writebacks, 0u);
+    EXPECT_GT(s.dram.writes, 0u);
+}
+
+TEST(Hierarchy, L2FillPrefetchesSkipL1d)
+{
+    // Force every Berti delta to the L2 class via a zero MSHR
+    // watermark: L1D must see no prefetch fills while L2 does.
+    BertiConfig cfg;
+    cfg.mshrWatermark = 0.0;  // occupancy is never below zero
+    SimResult r = simulate(findWorkload("stream-like.1"),
+                           makeBertiSpec(cfg, "berti-l2only"), quick());
+    EXPECT_EQ(r.roi.l1d.prefetchFills, 0u);
+    EXPECT_GT(r.roi.l2.prefetchFills, 0u);
+}
+
+TEST(Hierarchy, L2FillsStillHelpPerformance)
+{
+    BertiConfig l2only;
+    l2only.mshrWatermark = 0.0;
+    SimResult none =
+        simulate(findWorkload("stream-like.1"), makeSpec("none"), quick());
+    SimResult l2 = simulate(findWorkload("stream-like.1"),
+                            makeBertiSpec(l2only, "berti-l2only"),
+                            quick());
+    // L2 hits (~15 cycles) instead of DRAM (~250): solid gain even
+    // without L1D fills.
+    EXPECT_GT(l2.ipc, 1.05 * none.ipc);
+}
+
+TEST(Hierarchy, NonInclusive)
+{
+    // With a non-inclusive hierarchy an L1D-resident line need not be
+    // in L2: L2 demand misses < L1D fills over a long LLC-hostile run.
+    SimResult r = simulate(findWorkload("omnetpp-like.874"),
+                           makeSpec("none"), quick());
+    EXPECT_GT(r.roi.l1d.fills, 0u);
+}
+
+TEST(Hierarchy, SharedLlcScalesWithCores)
+{
+    ScriptedGen g0({TraceInstr{}}), g1({TraceInstr{}}),
+        g2({TraceInstr{}}), g3({TraceInstr{}});
+    // Single core: 2 MB LLC; 4 cores: 8 MB shared.
+    {
+        ScriptedGen g({TraceInstr{}});
+        Machine m1(MachineConfig::sunnyCove(1), {&g});
+        EXPECT_EQ(m1.sharedLlc().config().sets, 2048u);
+    }
+    Machine m4(MachineConfig::sunnyCove(4), {&g0, &g1, &g2, &g3});
+    EXPECT_EQ(m4.sharedLlc().config().sets, 4u * 2048u);
+    EXPECT_EQ(m4.sharedLlc().config().mshrs, 4u * 64u);
+}
+
+TEST(Hierarchy, MultiCoreContentionSlowsMemoryBoundCores)
+{
+    // The same memory-bound workload on 1 core vs on all 4: per-core
+    // IPC must drop under shared DRAM contention (the effect behind
+    // the paper's Figure 20 analysis).
+    SimParams p = quick();
+    const Workload &w = findWorkload("stream-like.1");
+    SimResult solo = simulate(w, makeSpec("none"), p);
+    auto quad = simulateMix({w, w, w, w}, makeSpec("none"), p);
+    double quad_ipc = quad[0].ipc;
+    EXPECT_LT(quad_ipc, solo.ipc);
+}
+
+TEST(Hierarchy, BertiHelpsUnderContention)
+{
+    // Paper section IV-I: Berti keeps its edge in 4-core mixes.
+    SimParams p = quick();
+    const Workload &w = findWorkload("stream-like.1");
+    auto base = simulateMix({w, w, w, w}, makeSpec("ip-stride"), p);
+    auto berti = simulateMix({w, w, w, w}, makeSpec("berti"), p);
+    double base_g = 1.0, berti_g = 1.0;
+    for (unsigned c = 0; c < 4; ++c) {
+        base_g *= base[c].ipc;
+        berti_g *= berti[c].ipc;
+    }
+    EXPECT_GT(berti_g, base_g);
+}
+
+TEST(Hierarchy, TranslationPathIsPerCore)
+{
+    ScriptedGen g0({TraceInstr{}}), g1({TraceInstr{}});
+    Machine m(MachineConfig::sunnyCove(2), {&g0, &g1});
+    // Same virtual address maps differently per core (per-core seed).
+    Addr v = 0x12345678;
+    EXPECT_NE(m.translation(0).pageTable().translate(v),
+              m.translation(1).pageTable().translate(v));
+}
+
+TEST(Hierarchy, PrefetchRequestsCountedInLowerLevelTraffic)
+{
+    SimParams p = quick();
+    const Workload &w = findWorkload("stream-like.1");
+    SimResult none = simulate(w, makeSpec("none"), p);
+    SimResult berti = simulate(w, makeSpec("berti"), p);
+    // Berti's L2-fill prefetches surface as extra L1D->L2 requests.
+    EXPECT_GT(berti.roi.l1d.requestsBelow, none.roi.l1d.requestsBelow);
+    // ...but DRAM reads stay in the same ballpark (high accuracy: it
+    // fetches what the demand stream would have fetched anyway).
+    EXPECT_LT(berti.roi.dram.reads, none.roi.dram.reads * 3 / 2);
+}
+
+} // namespace berti

@@ -1,0 +1,70 @@
+/** @file Page-table permutation tests. */
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "vm/page_table.hh"
+
+namespace berti
+{
+
+TEST(PageTable, Deterministic)
+{
+    PageTable a(123), b(123);
+    for (Addr v = 0; v < 1000; ++v)
+        EXPECT_EQ(a.translatePage(v), b.translatePage(v));
+}
+
+TEST(PageTable, SeedChangesMapping)
+{
+    PageTable a(1), b(2);
+    int differ = 0;
+    for (Addr v = 0; v < 100; ++v)
+        differ += a.translatePage(v) != b.translatePage(v);
+    EXPECT_GT(differ, 90);
+}
+
+TEST(PageTable, BijectiveOnSample)
+{
+    // A Feistel network is a permutation: no two vpages may collide.
+    PageTable pt(77);
+    std::unordered_set<Addr> seen;
+    for (Addr v = 0; v < 200000; ++v)
+        EXPECT_TRUE(seen.insert(pt.translatePage(v)).second) << v;
+}
+
+TEST(PageTable, OffsetPreserved)
+{
+    PageTable pt(5);
+    for (Addr addr : {Addr{0x1234}, Addr{0xABCDE}, Addr{0x7FFF123}}) {
+        EXPECT_EQ(pageOffset(pt.translate(addr)), pageOffset(addr));
+    }
+}
+
+TEST(PageTable, SamePageStaysTogether)
+{
+    PageTable pt(5);
+    Addr base = 0x12345000;
+    Addr page = pageAddr(pt.translate(base));
+    for (Addr off = 0; off < kPageSize; off += 64)
+        EXPECT_EQ(pageAddr(pt.translate(base + off)), page);
+}
+
+TEST(PageTable, ScattersConsecutivePages)
+{
+    // Consecutive virtual pages should not map to consecutive physical
+    // pages (that would under-model row-buffer conflicts).
+    PageTable pt(5);
+    int consecutive = 0;
+    for (Addr v = 0; v < 1000; ++v) {
+        Addr p0 = pt.translatePage(v);
+        Addr p1 = pt.translatePage(v + 1);
+        if (p1 == p0 + 1)
+            ++consecutive;
+    }
+    EXPECT_LT(consecutive, 10);
+}
+
+} // namespace berti

@@ -1,0 +1,100 @@
+/** @file Determinism and distribution sanity tests for the RNG. */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace berti
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (std::uint64_t bound : {1ull, 2ull, 10ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BoolRespectsProbability)
+{
+    Rng r(11);
+    int trues = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        trues += r.nextBool(0.25) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(trues) / n, 0.25, 0.02);
+}
+
+TEST(Rng, ZipfStaysInRangeAndFavoursHead)
+{
+    Rng r(13);
+    const std::uint64_t n = 1000;
+    std::uint64_t head = 0, tail = 0;
+    for (int i = 0; i < 20000; ++i) {
+        std::uint64_t v = r.nextZipf(n, 0.9);
+        ASSERT_LT(v, n);
+        if (v < n / 10)
+            ++head;
+        if (v >= 9 * n / 10)
+            ++tail;
+    }
+    // Power law: the first decile must be far more popular than the last.
+    EXPECT_GT(head, 5 * tail);
+}
+
+TEST(Rng, ZipfSingleElement)
+{
+    Rng r(17);
+    EXPECT_EQ(r.nextZipf(1, 1.2), 0u);
+}
+
+class ZipfParam : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfParam, InRangeForVariousExponents)
+{
+    Rng r(19);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(r.nextZipf(512, GetParam()), 512u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfParam,
+                         ::testing::Values(0.5, 0.75, 0.9, 1.0, 1.2));
+
+} // namespace berti

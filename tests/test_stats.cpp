@@ -1,0 +1,114 @@
+/** @file Unit tests for the statistics structs and derived metrics. */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace berti
+{
+
+TEST(CacheStats, AccuracyDefinition)
+{
+    CacheStats s;
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.0);  // no fills: defined as zero
+    s.prefetchFills = 100;
+    s.prefetchUseful = 87;
+    EXPECT_DOUBLE_EQ(s.accuracy(), 0.87);
+}
+
+TEST(CacheStats, AccuracyClampedToOne)
+{
+    CacheStats s;
+    s.prefetchFills = 10;
+    s.prefetchUseful = 12;  // late counting can exceed fills transiently
+    EXPECT_DOUBLE_EQ(s.accuracy(), 1.0);
+}
+
+TEST(CacheStats, TimelySplit)
+{
+    CacheStats s;
+    s.prefetchUseful = 50;
+    s.prefetchLate = 20;
+    EXPECT_EQ(s.prefetchTimely(), 30u);
+}
+
+TEST(CacheStats, Mpki)
+{
+    CacheStats s;
+    s.demandMisses = 42;
+    EXPECT_DOUBLE_EQ(s.mpki(1000), 42.0);
+    EXPECT_DOUBLE_EQ(s.mpki(0), 0.0);
+}
+
+TEST(CacheStats, AvgFillLatency)
+{
+    CacheStats s;
+    EXPECT_DOUBLE_EQ(s.avgFillLatency(), 0.0);
+    s.fillLatencySum = 600;
+    s.fillLatencyCount = 3;
+    EXPECT_DOUBLE_EQ(s.avgFillLatency(), 200.0);
+}
+
+TEST(CacheStats, AddAccumulatesEveryField)
+{
+    CacheStats a, b;
+    a.demandAccesses = 1;
+    a.prefetchIssued = 2;
+    b.demandAccesses = 10;
+    b.prefetchIssued = 20;
+    b.writebacks = 5;
+    a.add(b);
+    EXPECT_EQ(a.demandAccesses, 11u);
+    EXPECT_EQ(a.prefetchIssued, 22u);
+    EXPECT_EQ(a.writebacks, 5u);
+}
+
+TEST(RunStats, DiffIsComponentWise)
+{
+    RunStats end, start;
+    end.core.instructions = 300;
+    start.core.instructions = 100;
+    end.core.cycles = 1000;
+    start.core.cycles = 400;
+    end.l1d.demandMisses = 50;
+    start.l1d.demandMisses = 20;
+    RunStats roi = end.diff(start);
+    EXPECT_EQ(roi.core.instructions, 200u);
+    EXPECT_EQ(roi.core.cycles, 600u);
+    EXPECT_EQ(roi.l1d.demandMisses, 30u);
+    EXPECT_DOUBLE_EQ(roi.core.ipc(), 200.0 / 600.0);
+}
+
+TEST(RunStats, DiffSaturatesAtZero)
+{
+    RunStats end, start;
+    start.l1d.demandMisses = 50;
+    end.l1d.demandMisses = 20;  // would be negative
+    EXPECT_EQ(end.diff(start).l1d.demandMisses, 0u);
+}
+
+TEST(RunStats, SummaryMentionsIpc)
+{
+    RunStats s;
+    s.core.instructions = 100;
+    s.core.cycles = 100;
+    EXPECT_NE(s.summary().find("IPC"), std::string::npos);
+}
+
+TEST(Geomean, Basics)
+{
+    double one[] = {1.0, 1.0, 1.0};
+    EXPECT_NEAR(geomean(one, 3), 1.0, 1e-12);
+    double two[] = {2.0, 8.0};
+    EXPECT_NEAR(geomean(two, 2), 4.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean(nullptr, 0), 0.0);
+}
+
+TEST(Geomean, InsensitiveToOrder)
+{
+    double a[] = {1.1, 0.9, 1.5, 2.0};
+    double b[] = {2.0, 1.5, 0.9, 1.1};
+    EXPECT_NEAR(geomean(a, 4), geomean(b, 4), 1e-12);
+}
+
+} // namespace berti

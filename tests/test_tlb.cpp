@@ -1,0 +1,113 @@
+/** @file TLB and translation-unit tests. */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hh"
+
+namespace berti
+{
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb tlb(4, 2, 1);
+    EXPECT_FALSE(tlb.lookup(100));
+    tlb.fill(100);
+    EXPECT_TRUE(tlb.lookup(100));
+    EXPECT_EQ(tlb.stats.accesses, 2u);
+    EXPECT_EQ(tlb.stats.misses, 1u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    Tlb tlb(1, 2, 1);  // one set, two ways
+    tlb.fill(10);
+    tlb.fill(20);
+    EXPECT_TRUE(tlb.lookup(10));  // refresh 10: 20 is now LRU
+    tlb.fill(30);                 // evicts 20
+    EXPECT_TRUE(tlb.probe(10));
+    EXPECT_FALSE(tlb.probe(20));
+    EXPECT_TRUE(tlb.probe(30));
+}
+
+TEST(Tlb, ProbeDoesNotTouchLru)
+{
+    Tlb tlb(1, 2, 1);
+    tlb.fill(10);
+    tlb.fill(20);
+    // Probing 10 must not refresh it.
+    EXPECT_TRUE(tlb.probe(10));
+    tlb.fill(30);  // LRU is still 10
+    EXPECT_FALSE(tlb.probe(10));
+    EXPECT_TRUE(tlb.probe(20));
+}
+
+TEST(Tlb, DuplicateFillIsIdempotent)
+{
+    Tlb tlb(1, 2, 1);
+    tlb.fill(10);
+    tlb.fill(10);
+    tlb.fill(20);
+    EXPECT_TRUE(tlb.probe(10));
+    EXPECT_TRUE(tlb.probe(20));
+}
+
+TEST(TranslationUnit, LatencyComposition)
+{
+    TranslationUnit::Config cfg;
+    cfg.dtlbLatency = 1;
+    cfg.stlbLatency = 8;
+    cfg.walkLatency = 80;
+    TranslationUnit tu(cfg);
+
+    Addr vaddr = 0x123456;
+    // Cold: dTLB miss + STLB miss + walk.
+    EXPECT_EQ(tu.translate(vaddr).latency, 1u + 8u + 80u);
+    // Warm: dTLB hit.
+    EXPECT_EQ(tu.translate(vaddr).latency, 1u);
+}
+
+TEST(TranslationUnit, StlbHitPath)
+{
+    TranslationUnit::Config cfg;
+    cfg.dtlbSets = 1;
+    cfg.dtlbWays = 1;  // tiny dTLB to force eviction
+    TranslationUnit tu(cfg);
+
+    tu.translate(0x1000);   // walk, fills both
+    tu.translate(0x2000);   // evicts 0x1000 from the 1-entry dTLB
+    auto r = tu.translate(0x1000);
+    EXPECT_EQ(r.latency, cfg.dtlbLatency + cfg.stlbLatency);
+}
+
+TEST(TranslationUnit, TranslationIsStable)
+{
+    TranslationUnit tu({});
+    Addr a = tu.translate(0x5000).paddr;
+    Addr b = tu.translate(0x5000).paddr;
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(pageOffset(tu.translate(0x5123).paddr), 0x123u);
+}
+
+TEST(TranslationUnit, PrefetchProbeDropsUnknownPages)
+{
+    TranslationUnit tu({});
+    Addr paddr = 0;
+    // Never demanded: STLB miss, prefetch must drop.
+    EXPECT_FALSE(tu.prefetchTranslate(0x9000, paddr));
+    EXPECT_EQ(tu.stlbStats().prefetchProbeMisses, 1u);
+
+    tu.translate(0x9000);
+    EXPECT_TRUE(tu.prefetchTranslate(0x9040, paddr));
+    EXPECT_EQ(paddr, tu.translate(0x9040).paddr);
+}
+
+TEST(TranslationUnit, PrefetchProbeDoesNotWalk)
+{
+    TranslationUnit tu({});
+    Addr paddr = 0;
+    tu.prefetchTranslate(0x9000, paddr);
+    // Still a miss afterwards: the probe must not install anything.
+    EXPECT_FALSE(tu.prefetchTranslate(0x9000, paddr));
+}
+
+} // namespace berti

@@ -1,0 +1,133 @@
+/** @file Binary trace file round-trip tests. */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "trace/generators.hh"
+#include "trace/trace_io.hh"
+
+namespace berti
+{
+
+namespace
+{
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/berti_" + tag +
+           ".trace";
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTripPreservesEveryField)
+{
+    std::vector<TraceInstr> instrs;
+    TraceInstr a;
+    a.ip = 0x400010;
+    a.load0 = 0x10000040;
+    a.load1 = 0x10000080;
+    instrs.push_back(a);
+    TraceInstr b;
+    b.ip = 0x400014;
+    b.store = 0x20000000;
+    b.isBranch = true;
+    b.taken = true;
+    instrs.push_back(b);
+    TraceInstr c;
+    c.ip = 0x400018;
+    c.load0 = 0x30000000;
+    c.dependsOnPrevLoad = true;
+    instrs.push_back(c);
+
+    std::string path = tempPath("roundtrip");
+    ASSERT_TRUE(saveTrace(path, instrs));
+    auto loaded = loadTrace(path);
+    ASSERT_EQ(loaded.size(), instrs.size());
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        EXPECT_EQ(loaded[i].ip, instrs[i].ip);
+        EXPECT_EQ(loaded[i].load0, instrs[i].load0);
+        EXPECT_EQ(loaded[i].load1, instrs[i].load1);
+        EXPECT_EQ(loaded[i].store, instrs[i].store);
+        EXPECT_EQ(loaded[i].isBranch, instrs[i].isBranch);
+        EXPECT_EQ(loaded[i].taken, instrs[i].taken);
+        EXPECT_EQ(loaded[i].dependsOnPrevLoad,
+                  instrs[i].dependsOnPrevLoad);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RecordsGeneratorOutput)
+{
+    StreamGen::Params p;
+    StreamGen gen(p);
+    std::string path = tempPath("gen");
+    ASSERT_TRUE(saveTrace(path, gen, 5000));
+
+    // Replaying matches a fresh generator instance exactly.
+    FileReplayGen replay(path);
+    EXPECT_EQ(replay.traceLength(), 5000u);
+    StreamGen fresh(p);
+    for (int i = 0; i < 5000; ++i) {
+        TraceInstr a = replay.next();
+        TraceInstr b = fresh.next();
+        ASSERT_EQ(a.ip, b.ip);
+        ASSERT_EQ(a.load0, b.load0);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayWrapsAround)
+{
+    std::vector<TraceInstr> instrs(3);
+    instrs[0].ip = 1;
+    instrs[1].ip = 2;
+    instrs[2].ip = 3;
+    std::string path = tempPath("wrap");
+    ASSERT_TRUE(saveTrace(path, instrs));
+    FileReplayGen replay(path);
+    EXPECT_EQ(replay.next().ip, 1u);
+    EXPECT_EQ(replay.next().ip, 2u);
+    EXPECT_EQ(replay.next().ip, 3u);
+    EXPECT_EQ(replay.next().ip, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileHandledGracefully)
+{
+    EXPECT_TRUE(loadTrace("/nonexistent/nowhere.trace").empty());
+    EXPECT_THROW(FileReplayGen("/nonexistent/nowhere.trace"),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, BadMagicRejected)
+{
+    std::string path = tempPath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTATRACEFILE___", f);
+    std::fclose(f);
+    EXPECT_TRUE(loadTrace(path).empty());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedFileRejected)
+{
+    std::vector<TraceInstr> instrs(10);
+    std::string path = tempPath("trunc");
+    ASSERT_TRUE(saveTrace(path, instrs));
+    // Chop the last record in half.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(0, truncate(path.c_str(), size - 10));
+    EXPECT_TRUE(loadTrace(path).empty());
+    std::remove(path.c_str());
+}
+
+} // namespace berti

@@ -1,0 +1,62 @@
+/** @file Address-arithmetic unit tests for sim/types.hh. */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+
+namespace berti
+{
+
+TEST(Types, LineGeometry)
+{
+    EXPECT_EQ(kLineSize, 64u);
+    EXPECT_EQ(lineAddr(0), 0u);
+    EXPECT_EQ(lineAddr(63), 0u);
+    EXPECT_EQ(lineAddr(64), 1u);
+    EXPECT_EQ(lineAddr(0xFFFF), 0xFFFFull >> 6);
+}
+
+TEST(Types, LineToByteRoundTrip)
+{
+    for (Addr line : {Addr{0}, Addr{1}, Addr{12345}, Addr{1} << 40}) {
+        EXPECT_EQ(lineAddr(lineToByte(line)), line);
+    }
+}
+
+TEST(Types, PageGeometry)
+{
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(kLinesPerPage, 64u);
+    EXPECT_EQ(pageAddr(4095), 0u);
+    EXPECT_EQ(pageAddr(4096), 1u);
+    EXPECT_EQ(pageOffset(4097), 1u);
+}
+
+TEST(Types, SameLineSamePage)
+{
+    EXPECT_TRUE(sameLine(100, 101));
+    EXPECT_FALSE(sameLine(63, 64));
+    EXPECT_TRUE(samePage(0, 4095));
+    EXPECT_FALSE(samePage(4095, 4096));
+}
+
+class TypesParam : public ::testing::TestWithParam<Addr>
+{
+};
+
+TEST_P(TypesParam, PageContainsItsLines)
+{
+    Addr addr = GetParam();
+    EXPECT_EQ(pageAddr(addr), lineAddr(addr) >> (kPageBits - kLineBits));
+    EXPECT_LT(pageOffset(addr), kPageSize);
+    // The line base never leaves the page of the address.
+    EXPECT_EQ(pageAddr(lineToByte(lineAddr(addr))), pageAddr(addr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TypesParam,
+                         ::testing::Values(0ull, 1ull, 63ull, 64ull,
+                                           4095ull, 4096ull, 4097ull,
+                                           0xDEADBEEFull, 0x123456789ABull,
+                                           ~0ull >> 1));
+
+} // namespace berti
