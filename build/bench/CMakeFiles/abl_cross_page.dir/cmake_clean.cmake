@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cross_page.dir/abl_cross_page.cpp.o"
+  "CMakeFiles/abl_cross_page.dir/abl_cross_page.cpp.o.d"
+  "abl_cross_page"
+  "abl_cross_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cross_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

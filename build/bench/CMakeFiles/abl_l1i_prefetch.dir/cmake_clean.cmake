@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_l1i_prefetch.dir/abl_l1i_prefetch.cpp.o"
+  "CMakeFiles/abl_l1i_prefetch.dir/abl_l1i_prefetch.cpp.o.d"
+  "abl_l1i_prefetch"
+  "abl_l1i_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_l1i_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

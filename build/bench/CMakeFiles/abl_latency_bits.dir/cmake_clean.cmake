@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_latency_bits.dir/abl_latency_bits.cpp.o"
+  "CMakeFiles/abl_latency_bits.dir/abl_latency_bits.cpp.o.d"
+  "abl_latency_bits"
+  "abl_latency_bits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_latency_bits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mechanisms.dir/abl_mechanisms.cpp.o"
+  "CMakeFiles/abl_mechanisms.dir/abl_mechanisms.cpp.o.d"
+  "abl_mechanisms"
+  "abl_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_per_page.dir/abl_per_page.cpp.o"
+  "CMakeFiles/abl_per_page.dir/abl_per_page.cpp.o.d"
+  "abl_per_page"
+  "abl_per_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_per_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pythia.dir/abl_pythia.cpp.o"
+  "CMakeFiles/abl_pythia.dir/abl_pythia.cpp.o.d"
+  "abl_pythia"
+  "abl_pythia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pythia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_local_vs_global.dir/fig03_local_vs_global.cpp.o"
+  "CMakeFiles/fig03_local_vs_global.dir/fig03_local_vs_global.cpp.o.d"
+  "fig03_local_vs_global"
+  "fig03_local_vs_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_local_vs_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_timely_deltas.dir/fig04_timely_deltas.cpp.o"
+  "CMakeFiles/fig04_timely_deltas.dir/fig04_timely_deltas.cpp.o.d"
+  "fig04_timely_deltas"
+  "fig04_timely_deltas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_timely_deltas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_speedup_vs_storage.dir/fig07_speedup_vs_storage.cpp.o"
+  "CMakeFiles/fig07_speedup_vs_storage.dir/fig07_speedup_vs_storage.cpp.o.d"
+  "fig07_speedup_vs_storage"
+  "fig07_speedup_vs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_speedup_vs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_per_trace.dir/fig09_per_trace.cpp.o"
+  "CMakeFiles/fig09_per_trace.dir/fig09_per_trace.cpp.o.d"
+  "fig09_per_trace"
+  "fig09_per_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_per_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

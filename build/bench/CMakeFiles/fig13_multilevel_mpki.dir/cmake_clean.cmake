@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_multilevel_mpki.dir/fig13_multilevel_mpki.cpp.o"
+  "CMakeFiles/fig13_multilevel_mpki.dir/fig13_multilevel_mpki.cpp.o.d"
+  "fig13_multilevel_mpki"
+  "fig13_multilevel_mpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_multilevel_mpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

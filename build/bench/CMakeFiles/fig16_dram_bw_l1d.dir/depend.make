@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_dram_bw_l1d.
+# This may be replaced when dependencies are built.

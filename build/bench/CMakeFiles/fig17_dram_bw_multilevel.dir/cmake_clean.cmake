@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_dram_bw_multilevel.dir/fig17_dram_bw_multilevel.cpp.o"
+  "CMakeFiles/fig17_dram_bw_multilevel.dir/fig17_dram_bw_multilevel.cpp.o.d"
+  "fig17_dram_bw_multilevel"
+  "fig17_dram_bw_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_dram_bw_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

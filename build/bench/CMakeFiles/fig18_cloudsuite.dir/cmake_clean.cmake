@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_cloudsuite.dir/fig18_cloudsuite.cpp.o"
+  "CMakeFiles/fig18_cloudsuite.dir/fig18_cloudsuite.cpp.o.d"
+  "fig18_cloudsuite"
+  "fig18_cloudsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cloudsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_misb.dir/fig19_misb.cpp.o"
+  "CMakeFiles/fig19_misb.dir/fig19_misb.cpp.o.d"
+  "fig19_misb"
+  "fig19_misb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_misb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

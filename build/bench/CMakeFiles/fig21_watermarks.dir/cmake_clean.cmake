@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_watermarks.dir/fig21_watermarks.cpp.o"
+  "CMakeFiles/fig21_watermarks.dir/fig21_watermarks.cpp.o.d"
+  "fig21_watermarks"
+  "fig21_watermarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_watermarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetcher_shootout.dir/prefetcher_shootout.cpp.o"
+  "CMakeFiles/prefetcher_shootout.dir/prefetcher_shootout.cpp.o.d"
+  "prefetcher_shootout"
+  "prefetcher_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetcher_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

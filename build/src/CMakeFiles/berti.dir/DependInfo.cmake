@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/berti.cc" "src/CMakeFiles/berti.dir/core/berti.cc.o" "gcc" "src/CMakeFiles/berti.dir/core/berti.cc.o.d"
+  "/root/repo/src/cpu/branch_predictor.cc" "src/CMakeFiles/berti.dir/cpu/branch_predictor.cc.o" "gcc" "src/CMakeFiles/berti.dir/cpu/branch_predictor.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/berti.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/berti.dir/cpu/core.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/berti.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/berti.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/berti.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/berti.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/machine.cc" "src/CMakeFiles/berti.dir/harness/machine.cc.o" "gcc" "src/CMakeFiles/berti.dir/harness/machine.cc.o.d"
+  "/root/repo/src/harness/table.cc" "src/CMakeFiles/berti.dir/harness/table.cc.o" "gcc" "src/CMakeFiles/berti.dir/harness/table.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/berti.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/berti.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/berti.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/berti.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/CMakeFiles/berti.dir/mem/replacement.cc.o" "gcc" "src/CMakeFiles/berti.dir/mem/replacement.cc.o.d"
+  "/root/repo/src/prefetch/bingo.cc" "src/CMakeFiles/berti.dir/prefetch/bingo.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/bingo.cc.o.d"
+  "/root/repo/src/prefetch/bop.cc" "src/CMakeFiles/berti.dir/prefetch/bop.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/bop.cc.o.d"
+  "/root/repo/src/prefetch/ip_stride.cc" "src/CMakeFiles/berti.dir/prefetch/ip_stride.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/ip_stride.cc.o.d"
+  "/root/repo/src/prefetch/ipcp.cc" "src/CMakeFiles/berti.dir/prefetch/ipcp.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/ipcp.cc.o.d"
+  "/root/repo/src/prefetch/misb.cc" "src/CMakeFiles/berti.dir/prefetch/misb.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/misb.cc.o.d"
+  "/root/repo/src/prefetch/mlop.cc" "src/CMakeFiles/berti.dir/prefetch/mlop.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/mlop.cc.o.d"
+  "/root/repo/src/prefetch/next_line.cc" "src/CMakeFiles/berti.dir/prefetch/next_line.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/next_line.cc.o.d"
+  "/root/repo/src/prefetch/ppf.cc" "src/CMakeFiles/berti.dir/prefetch/ppf.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/ppf.cc.o.d"
+  "/root/repo/src/prefetch/prefetcher.cc" "src/CMakeFiles/berti.dir/prefetch/prefetcher.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/pythia.cc" "src/CMakeFiles/berti.dir/prefetch/pythia.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/pythia.cc.o.d"
+  "/root/repo/src/prefetch/sms.cc" "src/CMakeFiles/berti.dir/prefetch/sms.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/sms.cc.o.d"
+  "/root/repo/src/prefetch/spp.cc" "src/CMakeFiles/berti.dir/prefetch/spp.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/spp.cc.o.d"
+  "/root/repo/src/prefetch/stream.cc" "src/CMakeFiles/berti.dir/prefetch/stream.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/stream.cc.o.d"
+  "/root/repo/src/prefetch/vldp.cc" "src/CMakeFiles/berti.dir/prefetch/vldp.cc.o" "gcc" "src/CMakeFiles/berti.dir/prefetch/vldp.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/berti.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/berti.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/berti.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/berti.dir/sim/stats.cc.o.d"
+  "/root/repo/src/trace/gap_kernels.cc" "src/CMakeFiles/berti.dir/trace/gap_kernels.cc.o" "gcc" "src/CMakeFiles/berti.dir/trace/gap_kernels.cc.o.d"
+  "/root/repo/src/trace/generators.cc" "src/CMakeFiles/berti.dir/trace/generators.cc.o" "gcc" "src/CMakeFiles/berti.dir/trace/generators.cc.o.d"
+  "/root/repo/src/trace/graph.cc" "src/CMakeFiles/berti.dir/trace/graph.cc.o" "gcc" "src/CMakeFiles/berti.dir/trace/graph.cc.o.d"
+  "/root/repo/src/trace/registry.cc" "src/CMakeFiles/berti.dir/trace/registry.cc.o" "gcc" "src/CMakeFiles/berti.dir/trace/registry.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/berti.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/berti.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/berti.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/berti.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/vm/tlb.cc" "src/CMakeFiles/berti.dir/vm/tlb.cc.o" "gcc" "src/CMakeFiles/berti.dir/vm/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_berti.dir/test_berti.cpp.o"
+  "CMakeFiles/test_berti.dir/test_berti.cpp.o.d"
+  "test_berti"
+  "test_berti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_berti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

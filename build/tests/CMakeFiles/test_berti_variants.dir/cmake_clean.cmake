@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_berti_variants.dir/test_berti_variants.cpp.o"
+  "CMakeFiles/test_berti_variants.dir/test_berti_variants.cpp.o.d"
+  "test_berti_variants"
+  "test_berti_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_berti_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefetchers_extra.dir/test_prefetchers_extra.cpp.o"
+  "CMakeFiles/test_prefetchers_extra.dir/test_prefetchers_extra.cpp.o.d"
+  "test_prefetchers_extra"
+  "test_prefetchers_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefetchers_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
