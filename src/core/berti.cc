@@ -393,6 +393,33 @@ BertiPrefetcher::storageBits() const
     return history_bits + table_bits + queue_bits + line_bits;
 }
 
+std::string
+BertiPrefetcher::debugState() const
+{
+    unsigned history_valid = 0;
+    for (const auto &h : history)
+        history_valid += h.valid ? 1 : 0;
+    unsigned table_valid = 0;
+    unsigned selected = 0;
+    for (const auto &e : table) {
+        if (!e.valid)
+            continue;
+        ++table_valid;
+        for (const auto &s : e.slots) {
+            if (s.valid && s.status != DeltaStatus::NoPref)
+                ++selected;
+        }
+    }
+    return "berti: history " + std::to_string(history_valid) + "/" +
+           std::to_string(history.size()) + ", delta entries " +
+           std::to_string(table_valid) + "/" +
+           std::to_string(table.size()) + ", selected deltas " +
+           std::to_string(selected) + ", searches " +
+           std::to_string(historySearches) + ", timely " +
+           std::to_string(timelyDeltasFound) + ", phases " +
+           std::to_string(phaseCompletions);
+}
+
 std::vector<BertiPrefetcher::DeltaInfo>
 BertiPrefetcher::deltasFor(Addr ip) const
 {

@@ -131,6 +131,7 @@ class BertiPrefetcher : public Prefetcher
 
     std::uint64_t storageBits() const override;
     std::string name() const override { return "berti"; }
+    std::string debugState() const override;
 
     /** Learned deltas of an IP (empty when the IP is untracked). */
     std::vector<DeltaInfo> deltasFor(Addr ip) const;

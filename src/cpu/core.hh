@@ -22,6 +22,11 @@
 namespace berti
 {
 
+namespace verify
+{
+class SimAuditor;
+} // namespace verify
+
 struct CoreConfig
 {
     unsigned robSize = 352;
@@ -56,9 +61,31 @@ class Core : public ReadClient
     // ReadClient: load and instruction-fetch completions from the L1s.
     void readDone(const MemRequest &req) override;
 
+    // Introspection for the forward-progress watchdog and diagnostics.
+    std::size_t robOccupancy() const { return rob.size(); }
+    bool robEmpty() const { return rob.empty(); }
+    std::uint64_t robHeadId() const
+    {
+        return rob.empty() ? 0 : rob.front().id;
+    }
+    bool robHeadDone() const
+    {
+        return !rob.empty() && rob.front().done;
+    }
+    std::size_t fetchBufferOccupancy() const { return fetchBuffer.size(); }
+    std::size_t pendingAccessCount() const
+    {
+        return pendingAccesses.size();
+    }
+    std::size_t outstandingLoadCount() const
+    {
+        return outstandingLoads.size();
+    }
+
     CoreStats stats;
 
   private:
+    friend class verify::SimAuditor;
     struct RobEntry
     {
         std::uint64_t id = 0;

@@ -103,6 +103,9 @@ simulate(const Workload &workload, const PrefetcherSpec &spec,
     cfg.dram.mtps = params.dramMtps;
     cfg.l1dPrefetcher = spec.l1d;
     cfg.l2Prefetcher = spec.l2;
+    if (params.forceAudit)
+        cfg.audit.enabled = true;
+    cfg.faults = params.faults;
 
     Machine machine(cfg, {gen.get()});
     machine.run(params.warmupInstructions);
@@ -126,6 +129,9 @@ simulateMix(const std::vector<Workload> &mix, const PrefetcherSpec &spec,
     cfg.dram.mtps = params.dramMtps;
     cfg.l1dPrefetcher = spec.l1d;
     cfg.l2Prefetcher = spec.l2;
+    if (params.forceAudit)
+        cfg.audit.enabled = true;
+    cfg.faults = params.faults;
 
     std::vector<std::unique_ptr<TraceGenerator>> gens;
     std::vector<TraceGenerator *> gen_ptrs;

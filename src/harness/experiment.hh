@@ -15,6 +15,7 @@
 #include "energy/energy_model.hh"
 #include "harness/machine.hh"
 #include "trace/registry.hh"
+#include "verify/fault_injector.hh"
 
 namespace berti
 {
@@ -58,6 +59,12 @@ struct SimParams
     std::uint64_t warmupInstructions = 50000;
     std::uint64_t measureInstructions = 250000;
     unsigned dramMtps = 6400;
+
+    /** Force invariant auditing on (in addition to BERTI_VERIFY=1). */
+    bool forceAudit = false;
+
+    /** Optional fault injection; must outlive the simulation call. */
+    verify::FaultInjector *faults = nullptr;
 };
 
 /** Run one workload on the Table II machine with the given spec. */

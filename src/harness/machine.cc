@@ -1,9 +1,21 @@
 #include "harness/machine.hh"
 
-#include <cassert>
+#include "verify/fault_injector.hh"
+#include "verify/sim_error.hh"
 
 namespace berti
 {
+
+namespace
+{
+
+[[noreturn]] void
+rejectConfig(const std::string &reason)
+{
+    throw verify::SimError(verify::ErrorKind::Config, "Machine", reason);
+}
+
+} // namespace
 
 MachineConfig
 MachineConfig::sunnyCove(unsigned cores)
@@ -57,11 +69,32 @@ MachineConfig::sunnyCove(unsigned cores)
 
 Machine::Machine(const MachineConfig &config,
                  std::vector<TraceGenerator *> generators)
-    : cfg(config)
+    : cfg(config), watchdog(cfg.watchdog, &clock)
 {
-    assert(generators.size() == cfg.cores);
+    // Always-on configuration validation (replaces release-invisible
+    // asserts): every structural mistake fails loudly, typed, at
+    // construction time.
+    if (cfg.cores == 0)
+        rejectConfig("a machine needs at least one core");
+    if (generators.size() != cfg.cores) {
+        rejectConfig("generator count " +
+                     std::to_string(generators.size()) +
+                     " does not match core count " +
+                     std::to_string(cfg.cores));
+    }
+    for (TraceGenerator *g : generators) {
+        if (!g)
+            rejectConfig("null trace generator");
+    }
+    if (cfg.dram.mtps == 0 || cfg.dram.banks == 0)
+        rejectConfig("DRAM needs banks > 0 and mtps > 0");
+
+    if (cfg.audit.enabled)
+        audit = std::make_unique<verify::SimAuditor>(cfg.audit, &clock);
 
     dram = std::make_unique<Dram>(cfg.dram, &clock);
+    if (cfg.faults)
+        dram->setFaultInjector(cfg.faults);
 
     CacheConfig llc_cfg = cfg.llc;
     llc_cfg.sets *= cfg.cores;     // 2 MB and 64 MSHRs per core
@@ -97,7 +130,31 @@ Machine::Machine(const MachineConfig &config,
             cfg.core, &clock, c, generators[c], node->l1iCache.get(),
             node->l1dCache.get(), node->tu.get());
 
+        // Wiring validation + hardening hooks for this node.
+        node->l1iCache->validateWiring();
+        node->l1dCache->validateWiring();
+        node->l2Cache->validateWiring();
+        if (cfg.faults) {
+            node->l1iCache->setFaultInjector(cfg.faults);
+            node->l1dCache->setFaultInjector(cfg.faults);
+            node->l2Cache->setFaultInjector(cfg.faults);
+        }
+        if (audit) {
+            audit->attach(node->l1iCache.get());
+            audit->attach(node->l1dCache.get());
+            audit->attach(node->l2Cache.get());
+            audit->attach(node->cpu.get());
+            audit->attach(node->tu.get());
+        }
+
         nodes.push_back(std::move(node));
+    }
+    llc->validateWiring();
+    if (cfg.faults)
+        llc->setFaultInjector(cfg.faults);
+    if (audit) {
+        audit->attach(llc.get());
+        audit->attach(dram.get());
     }
     snapshots.resize(cfg.cores);
     for (unsigned c = 0; c < cfg.cores; ++c)
@@ -116,6 +173,8 @@ Machine::tick()
         n->l1iCache->tick();
         n->cpu->tick();
     }
+    if (audit)
+        audit->tick();
 }
 
 void
@@ -132,17 +191,96 @@ Machine::run(std::uint64_t target_instructions)
     std::uint64_t max_cycles =
         clock + 2000ull * target_instructions + 1000000ull;
 
+    watchdog.reset(cfg.cores);
     while (remaining > 0 && clock < max_cycles) {
         tick();
         for (unsigned c = 0; c < cfg.cores; ++c) {
-            if (!done[c] &&
-                nodes[c]->cpu->stats.instructions >= targets[c]) {
+            Core &cpu = *nodes[c]->cpu;
+            watchdog.observe(c, cpu.stats.instructions,
+                             cpu.robHeadId());
+            if (!done[c] && cpu.stats.instructions >= targets[c]) {
                 done[c] = true;
                 snapshots[c] = liveStats(c);
                 --remaining;
             }
         }
+        int wedged = watchdog.stalledCore();
+        if (wedged >= 0)
+            failWedged(static_cast<unsigned>(wedged));
     }
+}
+
+void
+Machine::failWedged(unsigned core_id)
+{
+    throw verify::SimError(
+        verify::ErrorKind::Watchdog, "Machine",
+        "core " + std::to_string(core_id) +
+            " made no forward progress for " +
+            std::to_string(watchdog.stalledFor(core_id)) +
+            " cycles (stuck ROB head / nothing retiring)",
+        {}, 0, diagnostic());
+}
+
+namespace
+{
+
+void
+describeCache(std::string &out, const Cache &cache)
+{
+    const CacheConfig &c = cache.config();
+    out += "  " + c.name + ": rq " +
+           std::to_string(cache.rqOccupancy()) + "/" +
+           std::to_string(c.rqSize) + ", pq " +
+           std::to_string(cache.pqOccupancy()) + "/" +
+           std::to_string(c.pqSize) + ", wq " +
+           std::to_string(cache.wqOccupancy()) + ", mshr " +
+           std::to_string(cache.mshrsInUse()) + "/" +
+           std::to_string(c.mshrs) + "\n";
+    for (const auto &m : cache.mshrSnapshot()) {
+        out += "    mshr line " + std::to_string(m.pLine) +
+               (m.isPrefetch ? " prefetch" : " demand") +
+               (m.hadDemand ? "+demand-waiter" : "") +
+               (m.sentBelow ? "" : " UNSENT") + ", age " +
+               std::to_string(m.age) + "\n";
+    }
+    if (const Prefetcher *pf = cache.prefetcher()) {
+        std::string state = pf->debugState();
+        if (!state.empty())
+            out += "    " + state + "\n";
+    }
+}
+
+} // namespace
+
+std::string
+Machine::diagnostic() const
+{
+    std::string out = "machine diagnostic @ cycle " +
+                      std::to_string(clock) + "\n";
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        const CoreNode &n = *nodes[c];
+        out += "core " + std::to_string(c) + ": retired " +
+               std::to_string(n.cpu->stats.instructions) + ", rob " +
+               std::to_string(n.cpu->robOccupancy()) + "/" +
+               std::to_string(cfg.core.robSize) + " (head id " +
+               std::to_string(n.cpu->robHeadId()) +
+               (n.cpu->robHeadDone() ? ", done" : ", waiting") +
+               "), fetch buffer " +
+               std::to_string(n.cpu->fetchBufferOccupancy()) +
+               ", pending mem " +
+               std::to_string(n.cpu->pendingAccessCount()) +
+               ", outstanding loads " +
+               std::to_string(n.cpu->outstandingLoadCount()) + "\n";
+        describeCache(out, *n.l1iCache);
+        describeCache(out, *n.l1dCache);
+        describeCache(out, *n.l2Cache);
+    }
+    describeCache(out, *llc);
+    out += "  DRAM: rq " + std::to_string(dram->rqOccupancy()) + ", wq " +
+           std::to_string(dram->wqOccupancy()) + ", pending " +
+           std::to_string(dram->pendingReads()) + "\n";
+    return out;
 }
 
 RunStats

@@ -17,10 +17,17 @@
 #include "mem/dram.hh"
 #include "sim/stats.hh"
 #include "trace/instr.hh"
+#include "verify/auditor.hh"
+#include "verify/watchdog.hh"
 #include "vm/tlb.hh"
 
 namespace berti
 {
+
+namespace verify
+{
+class FaultInjector;
+} // namespace verify
 
 /** Factory for per-core prefetcher instances. */
 using PrefetcherFactory = std::function<std::unique_ptr<Prefetcher>()>;
@@ -39,6 +46,15 @@ struct MachineConfig
     PrefetcherFactory l2Prefetcher;   //!< null = no L2 prefetcher
     PrefetcherFactory l1iPrefetcher;  //!< null = no L1I prefetcher
 
+    // ------------------------------------------------ hardening layer
+    /** Invariant checking; defaults honour BERTI_VERIFY=1 so CI audits
+     *  every existing test without modifying it. */
+    verify::AuditConfig audit = verify::AuditConfig::fromEnv();
+    /** Forward-progress watchdog; enabled by default. */
+    verify::WatchdogConfig watchdog;
+    /** Optional fault injection; must outlive the Machine. */
+    verify::FaultInjector *faults = nullptr;
+
     /**
      * The paper's baseline system (Table II): 352-entry ROB 6-issue
      * 4-retire core; 32 KB L1I; 48 KB 12-way 5-cycle L1D with 16 MSHRs;
@@ -52,8 +68,10 @@ class Machine
 {
   public:
     /**
-     * Build the machine. generators.size() must equal cfg.cores; the
-     * pointers must outlive the Machine.
+     * Build the machine. The pointers must outlive the Machine. Throws
+     * verify::SimError(ErrorKind::Config) when the configuration is
+     * structurally invalid (generator count != cores, zero cores, bad
+     * cache geometry, mis-wired prefetcher) — always-on validation.
      */
     Machine(const MachineConfig &cfg,
             std::vector<TraceGenerator *> generators);
@@ -64,8 +82,24 @@ class Machine
      * executing (their trace replays), as in the paper's multi-core
      * methodology; per-core statistics snapshots are taken the moment
      * each core reaches its target.
+     *
+     * When the forward-progress watchdog is enabled (default) and a
+     * core's ROB head wedges — e.g. a leaked MSHR swallowed a load
+     * response — run() throws verify::SimError(ErrorKind::Watchdog)
+     * whose diagnostic() carries the structured state dump, instead of
+     * spinning to the hard cycle bound.
      */
     void run(std::uint64_t target_instructions);
+
+    /**
+     * Structured state dump: per-core ROB/fetch-buffer state, queue
+     * occupancies and in-flight MSHRs (with ages) of every cache level,
+     * DRAM queues, and each L1D prefetcher's debugState().
+     */
+    std::string diagnostic() const;
+
+    /** The invariant checker, when cfg.audit.enabled (else null). */
+    verify::SimAuditor *auditor() { return audit.get(); }
 
     /** Per-core statistics snapshot taken when the core hit its target
      *  in the most recent run() (or live stats before any run). */
@@ -101,8 +135,12 @@ class Machine
     std::unique_ptr<Cache> llc;
     std::vector<std::unique_ptr<CoreNode>> nodes;
     std::vector<RunStats> snapshots;
+    std::unique_ptr<verify::SimAuditor> audit;
+    verify::ProgressWatchdog watchdog;
 
     void tick();
+
+    [[noreturn]] void failWedged(unsigned core_id);
 };
 
 } // namespace berti

@@ -1,11 +1,34 @@
 #include "mem/cache.hh"
 
-#include <cassert>
-
+#include "verify/fault_injector.hh"
+#include "verify/sim_error.hh"
 #include "vm/tlb.hh"
 
 namespace berti
 {
+
+namespace
+{
+
+/** Always-on structural validation; throws instead of asserting. */
+void
+validateCacheConfig(const CacheConfig &cfg)
+{
+    auto reject = [&cfg](const std::string &reason) {
+        throw verify::SimError(verify::ErrorKind::Config, cfg.name,
+                               reason);
+    };
+    if (cfg.sets == 0 || cfg.ways == 0)
+        reject("cache geometry requires sets > 0 and ways > 0");
+    if (cfg.mshrs == 0)
+        reject("at least one MSHR is required");
+    if (cfg.rqSize == 0)
+        reject("read queue size must be positive");
+    if (cfg.maxReadsPerCycle == 0 || cfg.maxWritesPerCycle == 0)
+        reject("per-cycle read/write bandwidth must be positive");
+}
+
+} // namespace
 
 Cache::Cache(const CacheConfig &config, const Cycle *clock_ptr)
     : cfg(config), clock(clock_ptr),
@@ -14,6 +37,7 @@ Cache::Cache(const CacheConfig &config, const Cycle *clock_ptr)
       lines(static_cast<std::size_t>(cfg.sets) * cfg.ways),
       mshr(cfg.mshrs)
 {
+    validateCacheConfig(cfg);
     pf->bind(this);
 }
 
@@ -25,6 +49,42 @@ Cache::setPrefetcher(std::unique_ptr<Prefetcher> prefetcher)
     pf = prefetcher ? std::move(prefetcher)
                     : std::make_unique<NoPrefetcher>();
     pf->bind(this);
+}
+
+void
+Cache::validateWiring() const
+{
+    if (cfg.isL1d && !translation &&
+        dynamic_cast<const NoPrefetcher *>(pf.get()) == nullptr) {
+        throw verify::SimError(
+            verify::ErrorKind::Config, cfg.name,
+            "an L1D with a prefetcher needs a TLB to translate virtual "
+            "prefetch addresses (setTranslation was never called)");
+    }
+    if (!lower) {
+        throw verify::SimError(verify::ErrorKind::Config, cfg.name,
+                               "no lower level attached (setLower was "
+                               "never called)");
+    }
+}
+
+std::vector<Cache::MshrView>
+Cache::mshrSnapshot() const
+{
+    std::vector<MshrView> out;
+    out.reserve(mshrUsed);
+    for (const auto &e : mshr) {
+        if (!e.valid)
+            continue;
+        MshrView v;
+        v.pLine = e.pLine;
+        v.isPrefetch = e.isPrefetch;
+        v.hadDemand = e.hadDemand;
+        v.sentBelow = e.sentBelow;
+        v.age = *clock >= e.ts ? *clock - e.ts : 0;
+        out.push_back(v);
+    }
+    return out;
 }
 
 Cache::Line *
@@ -105,7 +165,15 @@ Cache::issuePrefetch(Addr line_addr, FillLevel level)
         // Virtual request: translate through the STLB; drop on miss.
         req.vLine = line_addr;
         Addr paddr = 0;
-        assert(translation && "L1D prefetching requires a TLB");
+        if (!translation) {
+            // Mis-wired configuration: validated at machine construction
+            // (validateWiring), but a hand-built Cache can still reach
+            // here — fail with a typed error, never UB.
+            throw verify::SimError(
+                verify::ErrorKind::Config, cfg.name,
+                "L1D prefetching requires a TLB (setTranslation was "
+                "never called)");
+        }
         if (!translation->prefetchTranslate(lineToByte(line_addr), paddr)) {
             ++stats.prefetchDroppedTlb;
             return false;
@@ -500,13 +568,45 @@ Cache::readDone(const MemRequest &req)
     if (!e)
         return;  // pass-through request; nothing waits here
 
+    bool fill_prefetched = e->isPrefetch && !e->hadDemand;
+
+    // Fault injection: a dropped pure-prefetch fill frees the MSHR and
+    // wakes any upper-level prefetch clients without installing the
+    // line — the prefetch is simply wasted. Demand fills never drop.
+    if (fill_prefetched && faults && faults->dropPrefetchFill()) {
+        std::vector<MemRequest> waiters = std::move(e->waiters);
+        e->valid = false;
+        --mshrUsed;
+        for (auto &w : waiters) {
+            if (w.client)
+                w.client->readDone(w);
+        }
+        return;
+    }
+
     // Raw fetch latency; the consumer (e.g. Berti) applies its own
     // latency-counter width and overflow-to-zero semantics.
     Cycle latency = *clock - e->ts;
     stats.fillLatencySum += latency;
     ++stats.fillLatencyCount;
 
-    bool fill_prefetched = e->isPrefetch && !e->hadDemand;
+    if (Line *present = findLine(e->pLine)) {
+        // The line was installed while the miss was in flight (a dirty
+        // writeback from above write-allocated it). Filling again would
+        // put a duplicate tag in the set — update the existing copy and
+        // wake the waiters instead. The SimAuditor's duplicate-tag
+        // invariant guards this path.
+        present->dirty |= e->wantsDirty;
+        std::vector<MemRequest> waiters = std::move(e->waiters);
+        e->valid = false;
+        --mshrUsed;
+        for (auto &w : waiters) {
+            if (w.client)
+                w.client->readDone(w);
+        }
+        return;
+    }
+
     Line &l = fillLine(e->pLine, e->vLine, e->wantsDirty, fill_prefetched);
     if (e->isPrefetch) {
         ++stats.prefetchFills;

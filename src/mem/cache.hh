@@ -24,6 +24,12 @@ namespace berti
 
 class TranslationUnit;
 
+namespace verify
+{
+class FaultInjector;
+class SimAuditor;
+} // namespace verify
+
 /** Anything a cache can forward requests to (a lower cache or DRAM). */
 class MemLevel
 {
@@ -65,6 +71,11 @@ struct CacheConfig
 class Cache : public MemLevel, public ReadClient, public PrefetchPort
 {
   public:
+    /**
+     * Build the level. Throws verify::SimError(ErrorKind::Config) on a
+     * structurally invalid configuration (zero sets/ways/MSHRs/queues)
+     * — always-on validation, unlike an assert.
+     */
     Cache(const CacheConfig &cfg, const Cycle *clock);
     ~Cache() override;
 
@@ -78,6 +89,21 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
 
     void setPrefetcher(std::unique_ptr<Prefetcher> pf);
     Prefetcher *prefetcher() { return pf.get(); }
+    const Prefetcher *prefetcher() const { return pf.get(); }
+
+    /** Optional fault-injection hook (null = no faults). */
+    void setFaultInjector(verify::FaultInjector *injector)
+    {
+        faults = injector;
+    }
+
+    /**
+     * Always-on wiring validation, called at machine construction:
+     * an L1D with a prefetcher attached must have a TLB to translate
+     * virtual prefetch addresses. Throws verify::SimError on violation
+     * (this replaces a release-invisible assert in the prefetch path).
+     */
+    void validateWiring() const;
 
     // MemLevel: entry points used by cores and upper caches.
     bool submitRead(MemRequest req) override;
@@ -111,7 +137,21 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
     const CacheConfig &config() const { return cfg; }
     std::size_t rqOccupancy() const { return rq.size(); }
     std::size_t pqOccupancy() const { return pq.size(); }
+    std::size_t wqOccupancy() const { return wq.size(); }
     std::size_t mshrsInUse() const { return mshrUsed; }
+
+    /** One in-flight miss, as exposed to diagnostics and tests. */
+    struct MshrView
+    {
+        Addr pLine = kNoAddr;
+        bool isPrefetch = false;
+        bool hadDemand = false;
+        bool sentBelow = false;
+        Cycle age = 0;          //!< cycles outstanding
+    };
+
+    /** Snapshot of every valid MSHR entry (diagnostic dumps). */
+    std::vector<MshrView> mshrSnapshot() const;
 
     CacheStats stats;
 
@@ -169,10 +209,13 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
                t == AccessType::InstrFetch || t == AccessType::Translation;
     }
 
+    friend class verify::SimAuditor;
+
     CacheConfig cfg;
     const Cycle *clock;
     MemLevel *lower = nullptr;
     TranslationUnit *translation = nullptr;
+    verify::FaultInjector *faults = nullptr;
     std::unique_ptr<Prefetcher> pf;
     std::unique_ptr<ReplPolicy> repl;
 

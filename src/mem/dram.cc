@@ -1,5 +1,7 @@
 #include "mem/dram.hh"
 
+#include "verify/fault_injector.hh"
+
 namespace berti
 {
 
@@ -122,6 +124,14 @@ Dram::scheduleOne()
     rq.erase(rq.begin() + static_cast<std::ptrdiff_t>(pick));
     Cycle finish = accessBank(req.pLine);
     ++stats.reads;
+    if (faults) {
+        // Injected faults: a latency spike delays the response; a lost
+        // read swallows it entirely (the requester's MSHR wedges — the
+        // watchdog/auditor failure mode under test).
+        if (faults->loseDramRead())
+            return;
+        finish += faults->extraDramLatency(req);
+    }
     inflight.push({finish, req});
 }
 

@@ -21,6 +21,12 @@
 namespace berti
 {
 
+namespace verify
+{
+class FaultInjector;
+class SimAuditor;
+} // namespace verify
+
 struct DramConfig
 {
     unsigned banks = 16;
@@ -67,10 +73,19 @@ class Dram : public MemLevel
 
     bool readQueueEmpty() const { return rq.empty(); }
     std::size_t pendingReads() const { return rq.size() + inflight.size(); }
+    std::size_t rqOccupancy() const { return rq.size(); }
+    std::size_t wqOccupancy() const { return wq.size(); }
+
+    /** Optional fault-injection hook (null = no faults). */
+    void setFaultInjector(verify::FaultInjector *injector)
+    {
+        faults = injector;
+    }
 
     DramStats stats;
 
   private:
+    friend class verify::SimAuditor;
     struct Bank
     {
         Addr openRow = kNoAddr;
@@ -99,6 +114,7 @@ class Dram : public MemLevel
 
     DramConfig cfg;
     const Cycle *clock;
+    verify::FaultInjector *faults = nullptr;
     std::vector<Bank> banks;
     std::deque<MemRequest> rq;
     std::deque<Addr> wq;

@@ -95,6 +95,12 @@ class Prefetcher
 
     virtual std::string name() const = 0;
 
+    /**
+     * One-line internal-state summary for watchdog/auditor diagnostic
+     * dumps (table occupancies, counters). Empty by default.
+     */
+    virtual std::string debugState() const { return {}; }
+
   protected:
     PrefetchPort *port = nullptr;
 };

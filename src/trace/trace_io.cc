@@ -1,7 +1,8 @@
 #include "trace/trace_io.hh"
 
 #include <cstring>
-#include <stdexcept>
+
+#include "verify/fault_injector.hh"
 
 namespace berti
 {
@@ -10,8 +11,10 @@ namespace
 {
 
 constexpr char kMagic[8] = {'B', 'E', 'R', 'T', 'I', 'T', 'R', '1'};
+constexpr std::size_t kHeaderBytes = 16;  //!< magic + record count
+constexpr std::size_t kRecordBytes = 33;  //!< 4 x u64 + 1 flag byte
 
-/** On-disk record: fixed 35-byte layout, little-endian. */
+/** On-disk record: fixed 33-byte layout, little-endian. */
 struct Record
 {
     std::uint64_t ip;
@@ -52,21 +55,45 @@ unpack(const Record &r)
 bool
 writeRecord(std::FILE *f, const Record &r)
 {
-    return std::fwrite(&r.ip, 8, 1, f) == 1 &&
-           std::fwrite(&r.load0, 8, 1, f) == 1 &&
-           std::fwrite(&r.load1, 8, 1, f) == 1 &&
-           std::fwrite(&r.store, 8, 1, f) == 1 &&
-           std::fwrite(&r.flags, 1, 1, f) == 1;
+    unsigned char buf[kRecordBytes];
+    std::memcpy(buf, &r.ip, 8);
+    std::memcpy(buf + 8, &r.load0, 8);
+    std::memcpy(buf + 16, &r.load1, 8);
+    std::memcpy(buf + 24, &r.store, 8);
+    buf[32] = r.flags;
+    return std::fwrite(buf, kRecordBytes, 1, f) == 1;
 }
 
-bool
-readRecord(std::FILE *f, Record &r)
+Record
+decodeRecord(const unsigned char *buf)
 {
-    return std::fread(&r.ip, 8, 1, f) == 1 &&
-           std::fread(&r.load0, 8, 1, f) == 1 &&
-           std::fread(&r.load1, 8, 1, f) == 1 &&
-           std::fread(&r.store, 8, 1, f) == 1 &&
-           std::fread(&r.flags, 1, 1, f) == 1;
+    Record r;
+    std::memcpy(&r.ip, buf, 8);
+    std::memcpy(&r.load0, buf + 8, 8);
+    std::memcpy(&r.load1, buf + 16, 8);
+    std::memcpy(&r.store, buf + 24, 8);
+    r.flags = buf[32];
+    return r;
+}
+
+verify::SimError
+ioError(const std::string &path, std::uint64_t offset,
+        const std::string &reason)
+{
+    return verify::SimError(verify::ErrorKind::TraceIo, "loadTrace",
+                            reason, path, offset);
+}
+
+/** File size via seek, or -1 on failure. */
+long
+fileSize(std::FILE *f)
+{
+    if (std::fseek(f, 0, SEEK_END) != 0)
+        return -1;
+    long size = std::ftell(f);
+    if (std::fseek(f, 0, SEEK_SET) != 0)
+        return -1;
+    return size;
 }
 
 } // namespace
@@ -94,39 +121,72 @@ saveTrace(const std::string &path, const std::vector<TraceInstr> &instrs)
     return saveTrace(path, gen, instrs.size());
 }
 
-std::vector<TraceInstr>
-loadTrace(const std::string &path)
+verify::Result<std::vector<TraceInstr>>
+loadTrace(const std::string &path, verify::FaultInjector *faults)
 {
-    std::vector<TraceInstr> out;
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        return out;
+        return ioError(path, 0, "cannot open file");
+
+    struct Closer
+    {
+        std::FILE *f;
+        ~Closer() { std::fclose(f); }
+    } closer{f};
+
+    long size = fileSize(f);
+    if (size < 0)
+        return ioError(path, 0, "cannot determine file size");
+
     char magic[8];
     std::uint64_t count = 0;
-    if (std::fread(magic, sizeof(magic), 1, f) != 1 ||
-        std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 ||
-        std::fread(&count, 8, 1, f) != 1) {
-        std::fclose(f);
-        return out;
+    if (std::fread(magic, sizeof(magic), 1, f) != 1)
+        return ioError(path, 0, "truncated header (missing magic)");
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        return ioError(path, 0, "bad magic (not a Berti trace file)");
+    if (std::fread(&count, 8, 1, f) != 1)
+        return ioError(path, 8, "truncated header (missing record count)");
+
+    // Hostile-length defence: the declared count must fit in the file.
+    // This rejects absurd counts before any allocation is attempted.
+    std::uint64_t payload = static_cast<std::uint64_t>(size) - kHeaderBytes;
+    if (count > payload / kRecordBytes) {
+        return ioError(path, 8,
+                       "record count " + std::to_string(count) +
+                           " exceeds file capacity of " +
+                           std::to_string(payload / kRecordBytes) +
+                           " records");
     }
+
+    std::vector<TraceInstr> out;
     out.reserve(count);
-    Record r;
+    unsigned char buf[kRecordBytes];
     for (std::uint64_t i = 0; i < count; ++i) {
-        if (!readRecord(f, r)) {
-            out.clear();  // truncated: reject the whole file
-            break;
+        std::uint64_t offset = kHeaderBytes + i * kRecordBytes;
+        if (std::fread(buf, kRecordBytes, 1, f) != 1)
+            return ioError(path, offset, "truncated record");
+        if (faults) {
+            verify::TraceFault fault =
+                faults->mutateTraceRecord(buf, kRecordBytes);
+            if (fault == verify::TraceFault::Truncated)
+                return ioError(path, offset, "injected truncation");
+            // Corrupted records decode as hostile-but-parseable input:
+            // downstream consumers must cope with arbitrary addresses.
         }
-        out.push_back(unpack(r));
+        out.push_back(unpack(decodeRecord(buf)));
     }
-    std::fclose(f);
     return out;
 }
 
 FileReplayGen::FileReplayGen(const std::string &path)
-    : instrs(loadTrace(path))
+    : instrs(loadTrace(path).value())  // value() rethrows the SimError
 {
-    if (instrs.empty())
-        throw std::runtime_error("cannot load trace: " + path);
+    if (instrs.empty()) {
+        throw verify::SimError(verify::ErrorKind::TraceIo,
+                               "FileReplayGen",
+                               "trace holds no instructions", path,
+                               kHeaderBytes);
+    }
 }
 
 TraceInstr

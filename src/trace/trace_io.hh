@@ -5,6 +5,11 @@
  * (the role ChampSim's .trace.xz files play for the paper's artifact).
  *
  * Format: 16-byte magic+header, then fixed-size little-endian records.
+ *
+ * All decode failures surface as verify::SimError (kind TraceIo) with
+ * the path, the byte offset of the failure and a reason — loadTrace
+ * through its Result, FileReplayGen by throwing. No silent empty
+ * vectors, no untyped std::runtime_error.
  */
 
 #ifndef BERTI_TRACE_TRACE_IO_HH
@@ -16,9 +21,15 @@
 #include <vector>
 
 #include "trace/instr.hh"
+#include "verify/sim_error.hh"
 
 namespace berti
 {
+
+namespace verify
+{
+class FaultInjector;
+} // namespace verify
 
 /** Write count instructions pulled from gen to path. @return success. */
 bool saveTrace(const std::string &path, TraceGenerator &gen,
@@ -29,14 +40,23 @@ bool saveTrace(const std::string &path,
                const std::vector<TraceInstr> &instrs);
 
 /**
- * Load a whole trace file into memory. Returns an empty vector on any
- * format error (missing file, bad magic, truncated record).
+ * Load a whole trace file into memory. Every format error — missing
+ * file, truncated header, bad magic, a record count larger than the
+ * file can hold, or a truncated record — returns a typed
+ * SimError carrying the path, byte offset and reason.
+ *
+ * An optional FaultInjector perturbs records as they are decoded
+ * (bit flips pass through as hostile payloads; injected truncation
+ * surfaces as the same typed error a real truncation would).
  */
-std::vector<TraceInstr> loadTrace(const std::string &path);
+verify::Result<std::vector<TraceInstr>>
+loadTrace(const std::string &path,
+          verify::FaultInjector *faults = nullptr);
 
 /**
  * Replays a trace file cyclically, streaming from memory after a single
- * load. Throws std::runtime_error if the file cannot be parsed.
+ * load. Throws verify::SimError (kind TraceIo) if the file cannot be
+ * parsed or holds no instructions.
  */
 class FileReplayGen : public TraceGenerator
 {

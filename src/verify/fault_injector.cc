@@ -1,0 +1,67 @@
+#include "verify/fault_injector.hh"
+
+#include "mem/request.hh"
+
+namespace berti::verify
+{
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : cfg(config), rng(config.seed)
+{}
+
+TraceFault
+FaultInjector::mutateTraceRecord(unsigned char *bytes, std::size_t len)
+{
+    if (cfg.traceTruncateRate > 0.0 && rng.nextBool(cfg.traceTruncateRate)) {
+        ++counters.traceTruncations;
+        return TraceFault::Truncated;
+    }
+    if (len > 0 && cfg.traceBitFlipRate > 0.0 &&
+        rng.nextBool(cfg.traceBitFlipRate)) {
+        std::uint64_t bit = rng.nextBounded(8 * len);
+        bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+        ++counters.traceBitFlips;
+        return TraceFault::Corrupted;
+    }
+    return TraceFault::None;
+}
+
+Cycle
+FaultInjector::extraDramLatency(const MemRequest &req)
+{
+    Cycle extra = 0;
+    if (cfg.dramSpikeRate > 0.0 && rng.nextBool(cfg.dramSpikeRate)) {
+        extra += cfg.dramSpikeCycles;
+        ++counters.dramSpikes;
+    }
+    if (req.type == AccessType::Prefetch &&
+        cfg.delayPrefetchFillRate > 0.0 &&
+        rng.nextBool(cfg.delayPrefetchFillRate)) {
+        extra += cfg.prefetchDelayCycles;
+        ++counters.delayedPrefetchFills;
+    }
+    return extra;
+}
+
+bool
+FaultInjector::loseDramRead()
+{
+    if (cfg.dramLoseReadRate > 0.0 && rng.nextBool(cfg.dramLoseReadRate)) {
+        ++counters.dramLostReads;
+        return true;
+    }
+    return false;
+}
+
+bool
+FaultInjector::dropPrefetchFill()
+{
+    if (cfg.dropPrefetchFillRate > 0.0 &&
+        rng.nextBool(cfg.dropPrefetchFillRate)) {
+        ++counters.droppedPrefetchFills;
+        return true;
+    }
+    return false;
+}
+
+} // namespace berti::verify

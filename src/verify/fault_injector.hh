@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fault-injection harness. One FaultInjector instance is threaded
+ * through trace I/O and the memory hierarchy (MachineConfig::faults);
+ * each component asks it whether to perturb the event at hand. All
+ * draws flow through the simulator's deterministic Rng, so a fault
+ * campaign is reproducible from its seed.
+ *
+ * Supported faults:
+ *   - trace records: random bit flips (hostile payloads the decoder and
+ *     machine must survive) and injected stream truncation (must surface
+ *     as a typed SimError, never a crash or silent empty trace);
+ *   - DRAM: latency spikes on reads, to stress Berti's measured-latency
+ *     timeliness learning;
+ *   - prefetch fills: dropped (line never installed) or delayed;
+ *   - DRAM read responses: swallowed entirely ("lost"), which wedges the
+ *     requesting MSHR — the scenario the forward-progress watchdog and
+ *     the SimAuditor's leak check exist to catch.
+ */
+
+#ifndef BERTI_VERIFY_FAULT_INJECTOR_HH
+#define BERTI_VERIFY_FAULT_INJECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace berti
+{
+struct MemRequest;
+} // namespace berti
+
+namespace berti::verify
+{
+
+struct FaultConfig
+{
+    std::uint64_t seed = 0x5eedull;
+
+    // ------------------------------------------------------ trace I/O
+    double traceBitFlipRate = 0.0;   //!< P(flip one bit) per record
+    double traceTruncateRate = 0.0;  //!< P(cut the stream) per record
+
+    // ----------------------------------------------------------- DRAM
+    double dramSpikeRate = 0.0;      //!< P(latency spike) per read
+    Cycle dramSpikeCycles = 0;       //!< extra cycles on a spike
+    double dramLoseReadRate = 0.0;   //!< P(response swallowed) per read
+
+    // ------------------------------------------------- prefetch fills
+    double dropPrefetchFillRate = 0.0;   //!< P(fill discarded) per fill
+    double delayPrefetchFillRate = 0.0;  //!< P(fill delayed) per read
+    Cycle prefetchDelayCycles = 0;       //!< extra cycles when delayed
+};
+
+/** What mutateTraceRecord did to the record at hand. */
+enum class TraceFault : std::uint8_t
+{
+    None,
+    Corrupted,  //!< payload bits flipped; record still parses
+    Truncated   //!< stream ends here; loader must report a typed error
+};
+
+class FaultInjector
+{
+  public:
+    /** Counts of every fault actually injected (not just configured). */
+    struct Stats
+    {
+        std::uint64_t traceBitFlips = 0;
+        std::uint64_t traceTruncations = 0;
+        std::uint64_t dramSpikes = 0;
+        std::uint64_t dramLostReads = 0;
+        std::uint64_t droppedPrefetchFills = 0;
+        std::uint64_t delayedPrefetchFills = 0;
+    };
+
+    explicit FaultInjector(const FaultConfig &cfg = {});
+
+    /**
+     * Possibly corrupt or truncate one on-disk trace record (raw bytes,
+     * before decoding). Flips at most one bit per draw so corrupt
+     * corpora stay close to realistic single-event upsets.
+     */
+    TraceFault mutateTraceRecord(unsigned char *bytes, std::size_t len);
+
+    /** Extra service latency for one DRAM read (0 = no fault). */
+    Cycle extraDramLatency(const MemRequest &req);
+
+    /** True when this DRAM read's response must be swallowed. */
+    bool loseDramRead();
+
+    /** True when a completed pure-prefetch fill must be discarded. */
+    bool dropPrefetchFill();
+
+    const Stats &stats() const { return counters; }
+    const FaultConfig &config() const { return cfg; }
+
+  private:
+    FaultConfig cfg;
+    Rng rng;
+    Stats counters;
+};
+
+} // namespace berti::verify
+
+#endif // BERTI_VERIFY_FAULT_INJECTOR_HH

@@ -1,0 +1,54 @@
+#include "verify/sim_error.hh"
+
+namespace berti::verify
+{
+
+const char *
+errorKindName(ErrorKind kind)
+{
+    switch (kind) {
+      case ErrorKind::Config:
+        return "config";
+      case ErrorKind::TraceIo:
+        return "trace-io";
+      case ErrorKind::Invariant:
+        return "invariant";
+      case ErrorKind::Watchdog:
+        return "watchdog";
+      case ErrorKind::Fault:
+        return "fault";
+    }
+    return "unknown";
+}
+
+std::string
+SimError::format(ErrorKind kind, const std::string &component,
+                 const std::string &reason, const std::string &path,
+                 std::uint64_t offset)
+{
+    std::string msg = "[";
+    msg += errorKindName(kind);
+    msg += "] ";
+    msg += component;
+    msg += ": ";
+    msg += reason;
+    if (!path.empty()) {
+        msg += " (";
+        msg += path;
+        msg += " @ byte ";
+        msg += std::to_string(offset);
+        msg += ")";
+    }
+    return msg;
+}
+
+SimError::SimError(ErrorKind kind, std::string component,
+                   std::string reason, std::string path,
+                   std::uint64_t offset, std::string diagnostic)
+    : std::runtime_error(format(kind, component, reason, path, offset)),
+      errKind(kind), errComponent(std::move(component)),
+      errReason(std::move(reason)), errPath(std::move(path)),
+      errOffset(offset), errDiagnostic(std::move(diagnostic))
+{}
+
+} // namespace berti::verify

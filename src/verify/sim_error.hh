@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Typed simulator errors and a small Result<T> carrier, so every failure
+ * path in trace I/O, machine construction and the hardening layer is
+ * explicit: callers either get a value or a structured, inspectable
+ * error — never a silent empty result or a release-stripped assert.
+ */
+
+#ifndef BERTI_VERIFY_SIM_ERROR_HH
+#define BERTI_VERIFY_SIM_ERROR_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace berti::verify
+{
+
+/** Broad failure class; coarser than the message, stable for tests. */
+enum class ErrorKind : std::uint8_t
+{
+    Config,     //!< invalid machine/cache/workload configuration
+    TraceIo,    //!< trace file missing, corrupt or truncated
+    Invariant,  //!< SimAuditor found corrupted simulator state
+    Watchdog,   //!< forward progress stopped (stuck ROB head / no retire)
+    Fault       //!< an injected fault escalated to a hard failure
+};
+
+/** Human-readable name of an ErrorKind ("config", "trace-io", ...). */
+const char *errorKindName(ErrorKind kind);
+
+/**
+ * The one exception type the simulator throws. Carries the failure
+ * class, the component that detected it, a reason, and — where it
+ * applies — a file path + byte offset (trace I/O) and a multi-line
+ * diagnostic dump (watchdog / auditor).
+ */
+class SimError : public std::runtime_error
+{
+  public:
+    SimError(ErrorKind kind, std::string component, std::string reason,
+             std::string path = {}, std::uint64_t offset = 0,
+             std::string diagnostic = {});
+
+    ErrorKind kind() const { return errKind; }
+    const std::string &component() const { return errComponent; }
+    const std::string &reason() const { return errReason; }
+
+    /** File the error refers to (trace I/O); empty otherwise. */
+    const std::string &path() const { return errPath; }
+
+    /** Byte offset within path() where decoding failed. */
+    std::uint64_t offset() const { return errOffset; }
+
+    /** Structured state dump (watchdog / invariant failures). */
+    const std::string &diagnostic() const { return errDiagnostic; }
+
+  private:
+    static std::string format(ErrorKind kind, const std::string &component,
+                              const std::string &reason,
+                              const std::string &path,
+                              std::uint64_t offset);
+
+    ErrorKind errKind;
+    std::string errComponent;
+    std::string errReason;
+    std::string errPath;
+    std::uint64_t errOffset;
+    std::string errDiagnostic;
+};
+
+/**
+ * Value-or-SimError. Deliberately tiny: ok()/value()/error() plus a
+ * throwing value() accessor so call sites that cannot handle the error
+ * locally surface the *typed* error instead of inventing their own.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T v) : store(std::move(v)) {}                  // NOLINT
+    Result(SimError e) : store(std::move(e)) {}           // NOLINT
+
+    bool ok() const { return std::holds_alternative<T>(store); }
+    explicit operator bool() const { return ok(); }
+
+    /** The value; throws the stored SimError when !ok(). */
+    T &
+    value()
+    {
+        if (!ok())
+            throw std::get<SimError>(store);
+        return std::get<T>(store);
+    }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            throw std::get<SimError>(store);
+        return std::get<T>(store);
+    }
+
+    /** The error; only valid when !ok(). */
+    const SimError &error() const { return std::get<SimError>(store); }
+
+    /** The value, or a fallback when this holds an error. */
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<T>(store) : std::move(fallback);
+    }
+
+  private:
+    std::variant<T, SimError> store;
+};
+
+} // namespace berti::verify
+
+#endif // BERTI_VERIFY_SIM_ERROR_HH

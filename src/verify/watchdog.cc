@@ -1,0 +1,53 @@
+#include "verify/watchdog.hh"
+
+namespace berti::verify
+{
+
+ProgressWatchdog::ProgressWatchdog(const WatchdogConfig &config,
+                                   const Cycle *clock_ptr)
+    : cfg(config), clock(clock_ptr)
+{}
+
+void
+ProgressWatchdog::reset(unsigned cores)
+{
+    tracks.assign(cores, Track{});
+    for (auto &t : tracks)
+        t.lastProgress = *clock;
+}
+
+void
+ProgressWatchdog::observe(unsigned core, std::uint64_t retired,
+                          std::uint64_t rob_head_id)
+{
+    if (core >= tracks.size())
+        return;
+    Track &t = tracks[core];
+    if (retired != t.retired || rob_head_id != t.headId) {
+        t.retired = retired;
+        t.headId = rob_head_id;
+        t.lastProgress = *clock;
+    }
+}
+
+int
+ProgressWatchdog::stalledCore() const
+{
+    if (!cfg.enabled)
+        return -1;
+    for (std::size_t c = 0; c < tracks.size(); ++c) {
+        if (*clock - tracks[c].lastProgress > cfg.stallCycles)
+            return static_cast<int>(c);
+    }
+    return -1;
+}
+
+Cycle
+ProgressWatchdog::stalledFor(unsigned core) const
+{
+    if (core >= tracks.size())
+        return 0;
+    return *clock - tracks[core].lastProgress;
+}
+
+} // namespace berti::verify

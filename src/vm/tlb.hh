@@ -19,6 +19,11 @@
 namespace berti
 {
 
+namespace verify
+{
+class SimAuditor;
+} // namespace verify
+
 /** One set-associative TLB level with true-LRU replacement. */
 class Tlb
 {
@@ -38,6 +43,8 @@ class Tlb
     TlbStats stats;
 
   private:
+    friend class verify::SimAuditor;
+
     struct Entry
     {
         Addr vpage = kNoAddr;

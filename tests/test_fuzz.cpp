@@ -1,11 +1,22 @@
 /** @file Randomised property tests: structural invariants of the cache
- *  and the full machine under arbitrary request mixes. */
+ *  and the full machine under arbitrary request mixes, a corrupt-trace
+ *  corpus (bit flips, truncations, hostile lengths — direct and via the
+ *  FaultInjector), and the wedged-MSHR watchdog scenario. */
+
+#include <cstdio>
+#include <string>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include "harness/experiment.hh"
 #include "harness/machine.hh"
 #include "mem/cache.hh"
 #include "sim/rng.hh"
+#include "trace/generators.hh"
+#include "trace/trace_io.hh"
+#include "verify/fault_injector.hh"
+#include "verify/sim_error.hh"
 #include "test_util.hh"
 
 namespace berti
@@ -164,5 +175,192 @@ TEST_P(MachineFuzz, RandomWorkloadMachineStaysConsistent)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MachineFuzz,
                          ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+// --------------------------------------------------------------------
+// Corrupt-trace corpus: arbitrary byte-level damage to a valid trace
+// file must yield either a successfully parsed trace or a typed
+// SimError — never a crash, hang, or silent empty run.
+// --------------------------------------------------------------------
+
+namespace
+{
+
+std::string
+fuzzTracePath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/berti_fuzz_" + tag +
+           ".trace";
+}
+
+/** Record a short StreamGen trace to a fresh temp file. */
+std::string
+makeValidTrace(const char *tag, std::uint64_t count = 200)
+{
+    StreamGen::Params p;
+    StreamGen gen(p);
+    std::string path = fuzzTracePath(tag);
+    EXPECT_TRUE(saveTrace(path, gen, count));
+    return path;
+}
+
+} // namespace
+
+class TraceCorpusFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceCorpusFuzz, RandomDamageParsesOrFailsTyped)
+{
+    std::string path = makeValidTrace("corpus");
+    Rng rng(GetParam());
+
+    for (int round = 0; round < 40; ++round) {
+        // Re-record, then damage: flip bytes anywhere (header included)
+        // and sometimes chop the tail to a hostile length.
+        StreamGen::Params p;
+        StreamGen gen(p);
+        ASSERT_TRUE(saveTrace(path, gen, 200));
+
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        long size = std::ftell(f);
+        unsigned flips = 1 + rng.nextBounded(8);
+        for (unsigned i = 0; i < flips; ++i) {
+            long at = static_cast<long>(rng.nextBounded(size));
+            std::fseek(f, at, SEEK_SET);
+            int byte = std::fgetc(f);
+            ASSERT_NE(byte, EOF);
+            std::fseek(f, at, SEEK_SET);
+            std::fputc(byte ^ (1 << rng.nextBounded(8)), f);
+        }
+        std::fclose(f);
+        if (rng.nextBool(0.3)) {
+            long keep = static_cast<long>(rng.nextBounded(size));
+            ASSERT_EQ(0, truncate(path.c_str(), keep));
+        }
+
+        auto result = loadTrace(path);
+        if (!result.ok()) {
+            // Typed error with the file identified — never a crash.
+            EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
+            EXPECT_EQ(result.error().path(), path);
+            EXPECT_FALSE(result.error().reason().empty());
+        }
+    }
+    std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceCorpusFuzz,
+                         ::testing::Values(101ull, 202ull, 303ull));
+
+TEST(TraceCorpusFuzz, InjectedBitFlipsStayParseable)
+{
+    std::string path = makeValidTrace("bitflip");
+    auto clean = loadTrace(path);
+    ASSERT_TRUE(clean.ok());
+
+    verify::FaultConfig fc;
+    fc.seed = 99;
+    fc.traceBitFlipRate = 1.0;
+    verify::FaultInjector inj(fc);
+    auto result = loadTrace(path, &inj);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(inj.stats().traceBitFlips, clean.value().size());
+
+    // A single-bit flip per record must have changed *something*.
+    bool differs = false;
+    for (std::size_t i = 0; i < clean.value().size(); ++i) {
+        const TraceInstr &a = clean.value()[i];
+        const TraceInstr &b = result.value()[i];
+        differs |= a.ip != b.ip || a.load0 != b.load0 ||
+                   a.load1 != b.load1 || a.store != b.store ||
+                   a.isBranch != b.isBranch || a.taken != b.taken ||
+                   a.dependsOnPrevLoad != b.dependsOnPrevLoad;
+    }
+    EXPECT_TRUE(differs);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorpusFuzz, InjectedTruncationIsATypedError)
+{
+    std::string path = makeValidTrace("injtrunc");
+    verify::FaultConfig fc;
+    fc.seed = 7;
+    fc.traceTruncateRate = 0.2;
+    verify::FaultInjector inj(fc);
+    auto result = loadTrace(path, &inj);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
+    EXPECT_NE(result.error().reason().find("injected truncation"),
+              std::string::npos);
+    EXPECT_GE(inj.stats().traceTruncations, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceCorpusFuzz, HostilePayloadsRunOnTheMachine)
+{
+    // Corrupted-but-parseable records carry arbitrary 64-bit addresses.
+    // The full machine (with Berti learning on the garbage stream) must
+    // still make forward progress and keep its stats algebra intact.
+    std::string path = makeValidTrace("hostile", 400);
+    verify::FaultConfig fc;
+    fc.seed = 1234;
+    fc.traceBitFlipRate = 1.0;
+    verify::FaultInjector inj(fc);
+    auto result = loadTrace(path, &inj);
+    ASSERT_TRUE(result.ok());
+    std::remove(path.c_str());
+
+    ScriptedGen gen(result.value());
+    MachineConfig cfg = MachineConfig::sunnyCove(1);
+    cfg.l1dPrefetcher = makeSpec("berti").l1d;
+    cfg.audit.enabled = true;
+    cfg.audit.interval = 1024;
+    Machine m(cfg, {&gen});
+    m.run(5000);
+    RunStats s = m.liveStats(0);
+    EXPECT_GE(s.core.instructions, 5000u);
+    EXPECT_EQ(s.l1d.demandAccesses,
+              s.l1d.demandHits + s.l1d.demandMisses +
+                  s.l1d.demandMshrMerged);
+    ASSERT_NE(m.auditor(), nullptr);
+    EXPECT_GT(m.auditor()->checksRun(), 0u);
+}
+
+// --------------------------------------------------------------------
+// Wedged simulation: a swallowed DRAM read response leaks an MSHR and
+// parks the ROB head forever. The watchdog must convert the hang into
+// a typed error carrying the structured machine diagnostic.
+// --------------------------------------------------------------------
+
+TEST(WatchdogFuzz, WedgedMshrFailsWithDiagnosticInsteadOfHanging)
+{
+    StreamGen::Params p;
+    StreamGen gen(p);
+    verify::FaultConfig fc;
+    fc.seed = 42;
+    fc.dramLoseReadRate = 1.0;  // every DRAM read response vanishes
+    verify::FaultInjector inj(fc);
+
+    MachineConfig cfg = MachineConfig::sunnyCove(1);
+    cfg.faults = &inj;
+    cfg.watchdog.stallCycles = 3000;  // keep the test fast
+
+    Machine m(cfg, {&gen});
+    try {
+        m.run(100000);
+        FAIL() << "a fully wedged machine must not complete";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Watchdog);
+        EXPECT_NE(e.reason().find("no forward progress"),
+                  std::string::npos);
+        // The diagnostic names the wedged MSHRs and queue occupancies.
+        EXPECT_FALSE(e.diagnostic().empty());
+        EXPECT_NE(e.diagnostic().find("mshr"), std::string::npos);
+        EXPECT_NE(e.diagnostic().find("DRAM"), std::string::npos);
+    }
+    EXPECT_GE(inj.stats().dramLostReads, 1u);
+}
 
 } // namespace berti

@@ -1,12 +1,17 @@
-/** @file Binary trace file round-trip tests. */
+/** @file Binary trace file round-trip tests plus the typed-error
+ *  contract of loadTrace: every malformed input yields a SimError with
+ *  kind/path/offset/reason populated — never a crash and never a silent
+ *  empty trace. */
 
 #include <cstdio>
 #include <string>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "trace/generators.hh"
 #include "trace/trace_io.hh"
+#include "verify/sim_error.hh"
 
 namespace berti
 {
@@ -19,6 +24,17 @@ tempPath(const char *tag)
 {
     return std::string(::testing::TempDir()) + "/berti_" + tag +
            ".trace";
+}
+
+long
+sizeOf(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fclose(f);
+    return size;
 }
 
 } // namespace
@@ -45,7 +61,9 @@ TEST(TraceIo, RoundTripPreservesEveryField)
 
     std::string path = tempPath("roundtrip");
     ASSERT_TRUE(saveTrace(path, instrs));
-    auto loaded = loadTrace(path);
+    auto result = loadTrace(path);
+    ASSERT_TRUE(result.ok());
+    const auto &loaded = result.value();
     ASSERT_EQ(loaded.size(), instrs.size());
     for (std::size_t i = 0; i < instrs.size(); ++i) {
         EXPECT_EQ(loaded[i].ip, instrs[i].ip);
@@ -96,11 +114,33 @@ TEST(TraceIo, ReplayWrapsAround)
     std::remove(path.c_str());
 }
 
-TEST(TraceIo, MissingFileHandledGracefully)
+TEST(TraceIo, MissingFileYieldsTypedError)
 {
-    EXPECT_TRUE(loadTrace("/nonexistent/nowhere.trace").empty());
+    auto result = loadTrace("/nonexistent/nowhere.trace");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
+    EXPECT_EQ(result.error().path(), "/nonexistent/nowhere.trace");
+    EXPECT_EQ(result.error().offset(), 0u);
+    EXPECT_NE(result.error().reason().find("cannot open"),
+              std::string::npos);
+
+    // FileReplayGen surfaces the same typed error instead of a generic
+    // runtime_error.
     EXPECT_THROW(FileReplayGen("/nonexistent/nowhere.trace"),
-                 std::runtime_error);
+                 verify::SimError);
+}
+
+TEST(TraceIo, ResultValueRethrowsTheStoredError)
+{
+    auto result = loadTrace("/nonexistent/nowhere.trace");
+    ASSERT_FALSE(result.ok());
+    try {
+        (void)result.value();
+        FAIL() << "value() on an error Result must throw";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::TraceIo);
+        EXPECT_EQ(e.path(), "/nonexistent/nowhere.trace");
+    }
 }
 
 TEST(TraceIo, BadMagicRejected)
@@ -110,23 +150,96 @@ TEST(TraceIo, BadMagicRejected)
     ASSERT_NE(f, nullptr);
     std::fputs("NOTATRACEFILE___", f);
     std::fclose(f);
-    EXPECT_TRUE(loadTrace(path).empty());
+    auto result = loadTrace(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
+    EXPECT_EQ(result.error().offset(), 0u);
+    EXPECT_NE(result.error().reason().find("magic"), std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(TraceIo, TruncatedFileRejected)
+TEST(TraceIo, TruncatedHeaderRejected)
+{
+    // Shorter than the 8-byte magic.
+    std::string path = tempPath("nohdr");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("BER", f);
+    std::fclose(f);
+    auto result = loadTrace(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.error().reason().find("truncated header"),
+              std::string::npos);
+
+    // Valid magic but the record count is missing.
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("BERTITR1", f);
+    std::fclose(f);
+    result = loadTrace(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().offset(), 8u);
+    EXPECT_NE(result.error().reason().find("record count"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, HostileRecordCountRejectedBeforeAllocation)
+{
+    // Two real records but a header claiming ~2^60: the loader must
+    // reject the count against the file size, not trust it.
+    std::vector<TraceInstr> instrs(2);
+    std::string path = tempPath("hostilecount");
+    ASSERT_TRUE(saveTrace(path, instrs));
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::uint64_t bogus = 1ull << 60;
+    std::fseek(f, 8, SEEK_SET);
+    ASSERT_EQ(std::fwrite(&bogus, 8, 1, f), 1u);
+    std::fclose(f);
+    auto result = loadTrace(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
+    EXPECT_EQ(result.error().offset(), 8u);
+    EXPECT_NE(result.error().reason().find("exceeds file capacity"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedRecordReportsItsOffset)
 {
     std::vector<TraceInstr> instrs(10);
     std::string path = tempPath("trunc");
     ASSERT_TRUE(saveTrace(path, instrs));
-    // Chop the last record in half.
-    std::FILE *f = std::fopen(path.c_str(), "rb+");
-    ASSERT_NE(f, nullptr);
-    std::fseek(f, 0, SEEK_END);
-    long size = std::ftell(f);
-    std::fclose(f);
-    ASSERT_EQ(0, truncate(path.c_str(), size - 10));
-    EXPECT_TRUE(loadTrace(path).empty());
+    // Chop the last record in half. The count-vs-size defence fires
+    // first (the declared 10 records no longer fit), which is the
+    // correct diagnosis for a chopped file.
+    ASSERT_EQ(0, truncate(path.c_str(), sizeOf(path) - 10));
+    auto result = loadTrace(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
+    EXPECT_EQ(result.error().path(), path);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, EmptyTraceRejectedByReplay)
+{
+    // Zero records is a *valid* file for loadTrace but useless for
+    // replay: FileReplayGen must refuse it loudly.
+    std::vector<TraceInstr> none;
+    std::string path = tempPath("empty");
+    ASSERT_TRUE(saveTrace(path, none));
+    auto result = loadTrace(path);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().empty());
+    try {
+        FileReplayGen replay(path);
+        FAIL() << "empty trace must not replay";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::TraceIo);
+        EXPECT_NE(e.reason().find("no instructions"),
+                  std::string::npos);
+    }
     std::remove(path.c_str());
 }
 

@@ -44,9 +44,14 @@ cmdRecord(const std::string &workload, std::uint64_t count,
 int
 cmdInfo(const std::string &path)
 {
-    auto instrs = loadTrace(path);
+    auto loaded = loadTrace(path);
+    if (!loaded.ok()) {
+        std::cerr << "error: " << loaded.error().what() << "\n";
+        return 1;
+    }
+    const auto &instrs = loaded.value();
     if (instrs.empty()) {
-        std::cerr << "error: cannot load " << path << "\n";
+        std::cerr << "error: " << path << " holds no instructions\n";
         return 1;
     }
     std::uint64_t loads = 0, stores = 0, branches = 0, taken = 0,
