@@ -16,25 +16,27 @@ main()
 
     auto workloads = specGapWorkloads();
     SimParams params = defaultParams();
-    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
 
-    std::cout << "Ablation (section IV-J): cross-page prefetching\n\n";
-    TextTable t({"configuration", "SPEC17", "GAP", "all"});
+    std::vector<PrefetcherSpec> specs = {makeSpec("ip-stride")};
     for (bool cross : {true, false}) {
         BertiConfig cfg;
         cfg.crossPage = cross;
-        auto r = runSuite(
-            workloads,
-            makeBertiSpec(cfg, cross ? "berti" : "berti-nocross"),
-            params);
-        t.addRow({cross ? "cross-page (default)" : "page-bounded",
+        specs.push_back(
+            makeBertiSpec(cfg, cross ? "berti" : "berti-nocross"));
+    }
+    auto grid = runSpecMatrix(workloads, specs, params, "abl_cross_page");
+    const auto &base = grid[0];
+
+    std::cout << "Ablation (section IV-J): cross-page prefetching\n\n";
+    TextTable t({"configuration", "SPEC17", "GAP", "all"});
+    for (std::size_t v = 0; v < 2; ++v) {
+        const auto &r = grid[v + 1];
+        t.addRow({v == 0 ? "cross-page (default)" : "page-bounded",
                   TextTable::num(
                       suiteSpeedup(workloads, r, base, "spec")),
                   TextTable::num(suiteSpeedup(workloads, r, base, "gap")),
                   TextTable::num(suiteSpeedup(workloads, r, base, ""))});
-        std::fprintf(stderr, ".");
     }
-    std::fprintf(stderr, "\n");
     t.print(std::cout);
     return 0;
 }

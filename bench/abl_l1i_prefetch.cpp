@@ -8,6 +8,7 @@
  */
 
 #include "common.hh"
+#include "harness/machine.hh"
 #include "prefetch/next_line.hh"
 
 int
@@ -20,9 +21,9 @@ main()
     SimParams params = defaultParams();
 
     auto run = [&](bool l1i_pf, const std::string &l1d_spec) {
-        std::vector<SimResult> out;
-        for (const auto &w : workloads) {
-            auto gen = w.make();
+        std::vector<SimResult> out(workloads.size());
+        forEachIndexParallel(workloads.size(), [&](std::size_t i) {
+            auto gen = workloads[i].make();
             MachineConfig cfg = MachineConfig::sunnyCove(1);
             PrefetcherSpec spec = makeSpec(l1d_spec);
             cfg.l1dPrefetcher = spec.l1d;
@@ -39,8 +40,8 @@ main()
             SimResult r;
             r.roi = machine.liveStats(0).diff(start);
             r.ipc = r.roi.core.ipc();
-            out.push_back(r);
-        }
+            out[i] = r;
+        });
         return out;
     };
 
@@ -72,9 +73,7 @@ main()
                                         s.roi.core.instructions);
                                 }),
                       1)});
-        std::fprintf(stderr, ".");
     }
-    std::fprintf(stderr, "\n");
     t.print(std::cout);
     return 0;
 }

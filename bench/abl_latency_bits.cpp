@@ -15,22 +15,28 @@ main()
 
     auto workloads = specGapWorkloads();
     SimParams params = defaultParams();
-    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
+
+    const unsigned widths[] = {4u, 12u, 32u};
+    std::vector<PrefetcherSpec> specs = {makeSpec("ip-stride")};
+    for (unsigned bits : widths) {
+        BertiConfig cfg;
+        cfg.latencyBits = bits;
+        specs.push_back(
+            makeBertiSpec(cfg, "berti-lat" + std::to_string(bits)));
+    }
+    auto grid = runSpecMatrix(workloads, specs, params, "abl_latency_bits");
+    const auto &base = grid[0];
 
     std::cout << "Ablation (section IV-J): latency-counter width\n\n";
     TextTable t({"latency-bits", "SPEC17", "GAP", "all"});
-    for (unsigned bits : {4u, 12u, 32u}) {
-        BertiConfig cfg;
-        cfg.latencyBits = bits;
-        auto r = runSuite(workloads, makeBertiSpec(cfg), params);
-        t.addRow({std::to_string(bits),
+    for (std::size_t v = 0; v < std::size(widths); ++v) {
+        const auto &r = grid[v + 1];
+        t.addRow({std::to_string(widths[v]),
                   TextTable::num(
                       suiteSpeedup(workloads, r, base, "spec")),
                   TextTable::num(suiteSpeedup(workloads, r, base, "gap")),
                   TextTable::num(suiteSpeedup(workloads, r, base, ""))});
-        std::fprintf(stderr, ".");
     }
-    std::fprintf(stderr, "\n");
     t.print(std::cout);
     return 0;
 }

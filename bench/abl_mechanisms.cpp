@@ -19,7 +19,6 @@ main()
 
     auto workloads = specGapWorkloads();
     SimParams params = defaultParams();
-    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
 
     std::cout << "Mechanism ablation: Berti without each of its "
                  "pillars (speedup vs IP-stride / L1D accuracy)\n\n";
@@ -39,21 +38,24 @@ main()
         {"no-selectivity", no_select},
     };
 
+    std::vector<PrefetcherSpec> specs = {makeSpec("ip-stride")};
+    for (const Variant &v : variants)
+        specs.push_back(makeBertiSpec(v.cfg, v.label));
+    auto grid = runSpecMatrix(workloads, specs, params, "abl_mechanisms");
+    const auto &base = grid[0];
+
     TextTable t({"variant", "speedup-spec", "speedup-gap", "speedup-all",
                  "accuracy-spec", "accuracy-gap"});
-    for (const Variant &v : variants) {
-        auto r = runSuite(workloads, makeBertiSpec(v.cfg, v.label),
-                          params);
-        t.addRow({v.label,
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+        const auto &r = grid[v + 1];
+        t.addRow({variants[v].label,
                   TextTable::num(suiteSpeedup(workloads, r, base,
                                               "spec")),
                   TextTable::num(suiteSpeedup(workloads, r, base, "gap")),
                   TextTable::num(suiteSpeedup(workloads, r, base, "")),
                   TextTable::pct(suiteAccuracy(workloads, r, "spec")),
                   TextTable::pct(suiteAccuracy(workloads, r, "gap"))});
-        std::fprintf(stderr, ".");
     }
-    std::fprintf(stderr, "\n");
     t.print(std::cout);
     return 0;
 }

@@ -17,28 +17,30 @@ main()
 
     auto workloads = specGapWorkloads();
     SimParams params = defaultParams();
-    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
+
+    std::vector<PrefetcherSpec> specs = {makeSpec("ip-stride")};
+    for (bool per_page : {false, true}) {
+        BertiConfig cfg;
+        cfg.perPage = per_page;
+        specs.push_back(
+            makeBertiSpec(cfg, per_page ? "berti-page" : "berti-ip"));
+    }
+    auto grid = runSpecMatrix(workloads, specs, params, "abl_per_page");
+    const auto &base = grid[0];
 
     std::cout << "Heritage: per-IP (MICRO 2022) vs per-page (DPC-3) "
                  "delta context\n\n";
     TextTable t({"context", "speedup-spec", "speedup-gap", "speedup-all",
                  "accuracy-spec+gap"});
-    for (bool per_page : {false, true}) {
-        BertiConfig cfg;
-        cfg.perPage = per_page;
-        auto r = runSuite(
-            workloads,
-            makeBertiSpec(cfg, per_page ? "berti-page" : "berti-ip"),
-            params);
-        t.addRow({per_page ? "per-page (DPC-3)" : "per-IP (paper)",
+    for (std::size_t v = 0; v < 2; ++v) {
+        const auto &r = grid[v + 1];
+        t.addRow({v == 1 ? "per-page (DPC-3)" : "per-IP (paper)",
                   TextTable::num(suiteSpeedup(workloads, r, base,
                                               "spec")),
                   TextTable::num(suiteSpeedup(workloads, r, base, "gap")),
                   TextTable::num(suiteSpeedup(workloads, r, base, "")),
                   TextTable::pct(suiteAccuracy(workloads, r, ""))});
-        std::fprintf(stderr, ".");
     }
-    std::fprintf(stderr, "\n");
     t.print(std::cout);
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/table.hh"
 
 namespace berti::bench
@@ -37,24 +38,40 @@ defaultParams()
     return p;
 }
 
-/** spec-name -> per-workload results, with progress on stderr. */
+/**
+ * Run every (spec, workload) cell through the parallel worker pool
+ * (BERTI_JOBS / hardware_concurrency), with thread-safe progress on
+ * stderr. out[s][w] corresponds to specs[s] on workloads[w]; ordering
+ * matches the inputs regardless of thread count.
+ */
+inline std::vector<std::vector<SimResult>>
+runSpecMatrix(const std::vector<Workload> &workloads,
+              const std::vector<PrefetcherSpec> &specs,
+              const SimParams &params, const std::string &label = "matrix")
+{
+    return runMatrixParallel(workloads, specs, params, /*jobs=*/0,
+                             stderrProgress(label));
+}
+
+/** spec-name -> per-workload results, scheduled on the parallel pool. */
 inline std::map<std::string, std::vector<SimResult>>
 runMatrix(const std::vector<Workload> &workloads,
           const std::vector<std::string> &spec_names,
           const SimParams &params)
 {
+    std::vector<PrefetcherSpec> specs;
+    specs.reserve(spec_names.size());
+    for (const auto &name : spec_names)
+        specs.push_back(makeSpec(name));
+
+    auto grid = runSpecMatrix(workloads, specs, params,
+                              std::to_string(spec_names.size()) +
+                                  " specs x " +
+                                  std::to_string(workloads.size()) +
+                                  " workloads");
     std::map<std::string, std::vector<SimResult>> out;
-    for (const auto &name : spec_names) {
-        PrefetcherSpec spec = makeSpec(name);
-        std::fprintf(stderr, "[bench] %-18s", name.c_str());
-        std::vector<SimResult> results;
-        for (const auto &w : workloads) {
-            results.push_back(simulate(w, spec, params));
-            std::fprintf(stderr, ".");
-        }
-        std::fprintf(stderr, "\n");
-        out.emplace(name, std::move(results));
-    }
+    for (std::size_t s = 0; s < specs.size(); ++s)
+        out.emplace(spec_names[s], std::move(grid[s]));
     return out;
 }
 

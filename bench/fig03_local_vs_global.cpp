@@ -20,24 +20,27 @@ main()
     const Workload &w = findWorkload("mcf-like.1554");
     SimParams params = defaultParams();
 
-    // Run with Berti and keep the machine so the tables can be dumped.
-    auto gen = w.make();
-    MachineConfig cfg = MachineConfig::sunnyCove(1);
-    cfg.l1dPrefetcher = [] { return std::make_unique<BertiPrefetcher>(); };
-    Machine berti_machine(cfg, {gen.get()});
-    berti_machine.run(params.warmupInstructions +
-                      params.measureInstructions);
+    // Run Berti and BOP as two parallel jobs, keeping each machine
+    // alive so its prefetcher tables can be dumped afterwards.
+    std::unique_ptr<TraceGenerator> gens[2];
+    std::unique_ptr<Machine> machines[2];
+    const PrefetcherFactory factories[2] = {
+        [] { return std::make_unique<BertiPrefetcher>(); },
+        [] { return std::make_unique<BopPrefetcher>(); },
+    };
+    forEachIndexParallel(2, [&](std::size_t i) {
+        gens[i] = w.make();
+        MachineConfig cfg = MachineConfig::sunnyCove(1);
+        cfg.l1dPrefetcher = factories[i];
+        machines[i] = std::make_unique<Machine>(
+            cfg, std::vector<TraceGenerator *>{gens[i].get()});
+        machines[i]->run(params.warmupInstructions +
+                         params.measureInstructions);
+    });
     auto *berti_pf = dynamic_cast<BertiPrefetcher *>(
-        berti_machine.l1d(0).prefetcher());
-
-    auto gen2 = w.make();
-    MachineConfig cfg2 = MachineConfig::sunnyCove(1);
-    cfg2.l1dPrefetcher = [] { return std::make_unique<BopPrefetcher>(); };
-    Machine bop_machine(cfg2, {gen2.get()});
-    bop_machine.run(params.warmupInstructions +
-                    params.measureInstructions);
+        machines[0]->l1d(0).prefetcher());
     auto *bop_pf =
-        dynamic_cast<BopPrefetcher *>(bop_machine.l1d(0).prefetcher());
+        dynamic_cast<BopPrefetcher *>(machines[1]->l1d(0).prefetcher());
 
     std::cout << "Figure 3: Berti local deltas per IP vs BOP global "
                  "delta (" << w.name << ")\n\n";
@@ -64,9 +67,12 @@ main()
               << bop_pf->bestOffset() << "\n";
 
     // Coverage comparison (paper: BOP covers ~2% of mcf accesses).
-    SimResult rb = simulate(w, makeSpec("berti"), params);
-    SimResult rg = simulate(w, makeSpec("bop"), params);
-    SimResult rn = simulate(w, makeSpec("none"), params);
+    auto grid = runSpecMatrix(
+        {w}, {makeSpec("berti"), makeSpec("bop"), makeSpec("none")},
+        params, "fig03 coverage");
+    const SimResult &rb = grid[0][0];
+    const SimResult &rg = grid[1][0];
+    const SimResult &rn = grid[2][0];
     auto coverage = [&](const SimResult &r) {
         double covered = static_cast<double>(rn.roi.l1d.demandMisses) -
                          static_cast<double>(r.roi.l1d.demandMisses);

@@ -40,30 +40,34 @@ main()
     std::cout << "Figure 20: 4-core mix speedups vs IP-stride (" << kMixes
               << " random heterogeneous mixes)\n\n";
 
+    // Every (spec, mix) 4-core simulation is an independent job;
+    // grid[spec][mix] holds the per-core results in input order.
+    std::vector<PrefetcherSpec> spec_objs;
+    for (const auto &name : specs)
+        spec_objs.push_back(makeSpec(name));
+    std::vector<std::vector<std::vector<SimResult>>> grid(
+        specs.size(), std::vector<std::vector<SimResult>>(mixes.size()));
+    forEachIndexParallel(
+        specs.size() * mixes.size(),
+        [&](std::size_t cell) {
+            std::size_t s = cell / mixes.size();
+            std::size_t mi = cell % mixes.size();
+            grid[s][mi] = simulateMix(mixes[mi], spec_objs[s], params);
+        },
+        /*jobs=*/0, stderrProgress("fig20 mixes"));
+
     // speedups[spec][mix]
     std::map<std::string, std::vector<double>> speedups;
-    std::vector<std::vector<double>> base_ipcs;
-    for (const auto &mix : mixes) {
-        auto r = simulateMix(mix, makeSpec("ip-stride"), params);
-        std::vector<double> ipcs;
-        for (const auto &res : r)
-            ipcs.push_back(res.ipc);
-        base_ipcs.push_back(ipcs);
-    }
-    for (const auto &name : specs) {
-        if (name == "ip-stride")
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        if (specs[s] == "ip-stride")
             continue;
-        std::fprintf(stderr, "[bench] %-16s", name.c_str());
         for (std::size_t mi = 0; mi < mixes.size(); ++mi) {
-            auto r = simulateMix(mixes[mi], makeSpec(name), params);
             std::vector<double> ratio;
             for (unsigned c = 0; c < kCores; ++c)
-                ratio.push_back(r[c].ipc / base_ipcs[mi][c]);
-            speedups[name].push_back(
+                ratio.push_back(grid[s][mi][c].ipc / grid[0][mi][c].ipc);
+            speedups[specs[s]].push_back(
                 geomean(ratio.data(), ratio.size()));
-            std::fprintf(stderr, ".");
         }
-        std::fprintf(stderr, "\n");
     }
 
     TextTable t({"configuration", "mean-mix-speedup", "best-mix",

@@ -22,26 +22,31 @@ main()
         workloads.push_back(findWorkload(n));
 
     SimParams params = defaultParams();
-    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
 
     const double l1_wms[] = {0.35, 0.50, 0.65, 0.80, 0.95};
     const double l2_wms[] = {0.20, 0.35, 0.50};
 
-    std::cout << "Figure 21: speedup vs IP-stride for L1/L2 coverage "
-                 "watermarks (paper's choice: L1=65%, L2=35%)\n\n";
-    TextTable t({"L1-watermark", "L2=20%", "L2=35%", "L2=50%"});
+    std::vector<PrefetcherSpec> specs = {makeSpec("ip-stride")};
     for (double l1 : l1_wms) {
-        std::vector<std::string> row = {TextTable::pct(l1, 0)};
         for (double l2 : l2_wms) {
             BertiConfig cfg;
             cfg.l1Watermark = l1;
             cfg.l2Watermark = std::min(l2, l1);
-            auto r = runSuite(workloads, makeBertiSpec(cfg), params);
-            row.push_back(TextTable::num(speedupGeomean(r, base)));
-            std::fprintf(stderr, ".");
+            specs.push_back(makeBertiSpec(cfg));
         }
+    }
+    auto grid = runSpecMatrix(workloads, specs, params, "fig21");
+    const auto &base = grid[0];
+
+    std::cout << "Figure 21: speedup vs IP-stride for L1/L2 coverage "
+                 "watermarks (paper's choice: L1=65%, L2=35%)\n\n";
+    TextTable t({"L1-watermark", "L2=20%", "L2=35%", "L2=50%"});
+    std::size_t cell = 1;
+    for (double l1 : l1_wms) {
+        std::vector<std::string> row = {TextTable::pct(l1, 0)};
+        for (std::size_t l2 = 0; l2 < std::size(l2_wms); ++l2)
+            row.push_back(TextTable::num(speedupGeomean(grid[cell++], base)));
         t.addRow(row);
-        std::fprintf(stderr, "\n");
     }
     t.print(std::cout);
     return 0;

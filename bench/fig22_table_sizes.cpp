@@ -21,13 +21,9 @@ main()
         workloads.push_back(findWorkload(n));
 
     SimParams params = defaultParams();
-    auto base = runSuite(workloads, makeSpec("ip-stride"), params);
 
-    std::cout << "Figure 22: speedup vs size of the Berti tables "
-                 "(1x = paper configuration)\n\n";
-    TextTable t({"scale", "history-table", "table-of-deltas",
-                 "num-deltas"});
     const double scales[] = {0.25, 0.5, 1.0, 2.0, 4.0};
+    std::vector<PrefetcherSpec> specs = {makeSpec("ip-stride")};
     for (double s : scales) {
         auto scaled = [s](unsigned v) {
             return std::max(1u, static_cast<unsigned>(v * s));
@@ -36,15 +32,22 @@ main()
         hist.historySets = scaled(8);
         dtab.deltaTableEntries = scaled(16);
         ndel.deltasPerEntry = scaled(16);
+        for (const BertiConfig &cfg : {hist, dtab, ndel})
+            specs.push_back(makeBertiSpec(cfg));
+    }
+    auto grid = runSpecMatrix(workloads, specs, params, "fig22");
+    const auto &base = grid[0];
 
+    std::cout << "Figure 22: speedup vs size of the Berti tables "
+                 "(1x = paper configuration)\n\n";
+    TextTable t({"scale", "history-table", "table-of-deltas",
+                 "num-deltas"});
+    std::size_t cell = 1;
+    for (double s : scales) {
         std::vector<std::string> row = {TextTable::num(s, 2) + "x"};
-        for (const BertiConfig &cfg : {hist, dtab, ndel}) {
-            auto r = runSuite(workloads, makeBertiSpec(cfg), params);
-            row.push_back(TextTable::num(speedupGeomean(r, base)));
-            std::fprintf(stderr, ".");
-        }
+        for (int dim = 0; dim < 3; ++dim)
+            row.push_back(TextTable::num(speedupGeomean(grid[cell++], base)));
         t.addRow(row);
-        std::fprintf(stderr, "\n");
     }
     t.print(std::cout);
     return 0;

@@ -1,19 +1,51 @@
 #!/bin/sh
 # Run every bench binary, one output file per bench under results/.
-# Resumable: benches with a non-empty results file are skipped, so the
-# script can be re-invoked until it prints ALL_BENCHES_DONE.
-mkdir -p results
+# Resumable: benches with a results file are skipped, so the script can
+# be re-invoked until it prints ALL_BENCHES_DONE.
+#
+# A bench's output is written to a temp file and only moved into
+# results/ when the bench exits 0, so a crashed or interrupted bench is
+# retried on the next invocation instead of leaving a partial file that
+# passes the resume check. Stderr (progress + crash reports) is kept in
+# results/log/<bench>.stderr for postmortems.
+#
+# The bench binaries fan (workload, spec) cells out over a worker pool;
+# BERTI_JOBS caps the pool (default: all hardware threads).
+BERTI_JOBS="${BERTI_JOBS:-$(nproc 2>/dev/null || echo 1)}"
+export BERTI_JOBS
+
+mkdir -p results results/log
+failed=""
 for b in build/bench/*; do
     n=$(basename "$b")
     { [ -f "$b" ] && [ -x "$b" ]; } || continue
     [ "$n" = "micro_prefetchers" ] && continue
     [ -s "results/$n.txt" ] && continue
-    echo "=== $n start $(date +%T)"
-    "./build/bench/$n" > "results/$n.txt" 2> /dev/null || true
-    echo "=== $n done $(date +%T)"
+    echo "=== $n start $(date +%T) (BERTI_JOBS=$BERTI_JOBS)"
+    tmp="results/.$n.txt.tmp"
+    if "./build/bench/$n" > "$tmp" 2> "results/log/$n.stderr"; then
+        mv "$tmp" "results/$n.txt"
+        echo "=== $n done $(date +%T)"
+    else
+        rc=$?
+        rm -f "$tmp"
+        failed="$failed $n"
+        echo "=== $n FAILED rc=$rc $(date +%T) (see results/log/$n.stderr)"
+    fi
 done
 if [ ! -s results/micro_prefetchers.txt ]; then
-    ./build/bench/micro_prefetchers --benchmark_min_time=0.1s \
-        > results/micro_prefetchers.txt 2> /dev/null || true
+    tmp="results/.micro_prefetchers.txt.tmp"
+    if ./build/bench/micro_prefetchers --benchmark_min_time=0.1s \
+        > "$tmp" 2> results/log/micro_prefetchers.stderr; then
+        mv "$tmp" results/micro_prefetchers.txt
+    else
+        rm -f "$tmp"
+        failed="$failed micro_prefetchers"
+        echo "=== micro_prefetchers FAILED (see results/log/micro_prefetchers.stderr)"
+    fi
+fi
+if [ -n "$failed" ]; then
+    echo "FAILED_BENCHES:$failed"
+    exit 1
 fi
 echo ALL_BENCHES_DONE

@@ -1,6 +1,6 @@
 #include "harness/experiment.hh"
 
-#include <stdexcept>
+#include "verify/sim_error.hh"
 
 #include "prefetch/bingo.hh"
 #include "prefetch/bop.hh"
@@ -55,7 +55,8 @@ factoryFor(const std::string &name)
         return [] { return std::make_unique<SmsPrefetcher>(); };
     if (name == "stream")
         return [] { return std::make_unique<StreamPrefetcher>(); };
-    throw std::out_of_range("unknown prefetcher: " + name);
+    throw verify::SimError(verify::ErrorKind::Config, "experiment",
+                           "unknown prefetcher: \"" + name + "\"");
 }
 
 std::uint64_t
@@ -173,8 +174,16 @@ double
 speedupGeomean(const std::vector<SimResult> &test,
                const std::vector<SimResult> &baseline)
 {
+    if (test.size() != baseline.size()) {
+        throw verify::SimError(
+            verify::ErrorKind::Config, "experiment",
+            "speedupGeomean size mismatch: " + std::to_string(test.size()) +
+                " test vs " + std::to_string(baseline.size()) +
+                " baseline results; a truncated geomean would silently "
+                "drop workloads");
+    }
     std::vector<double> speedups;
-    for (std::size_t i = 0; i < test.size() && i < baseline.size(); ++i) {
+    for (std::size_t i = 0; i < test.size(); ++i) {
         if (baseline[i].ipc > 0.0)
             speedups.push_back(test[i].ipc / baseline[i].ipc);
     }

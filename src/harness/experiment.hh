@@ -36,7 +36,8 @@ struct PrefetcherSpec
 /**
  * Build a spec by name. L1D names: none, ip-stride, next-line, bop,
  * mlop, ipcp, berti. L2 names (after '+'): spp, spp-ppf, bingo, vldp,
- * ipcp, misb. Examples: "berti", "mlop+bingo", "ipcp+ipcp".
+ * ipcp, misb. Examples: "berti", "mlop+bingo", "ipcp+ipcp". An unknown
+ * name throws verify::SimError(ErrorKind::Config).
  */
 PrefetcherSpec makeSpec(const std::string &combo);
 
@@ -81,7 +82,12 @@ std::vector<SimResult> runSuite(const std::vector<Workload> &workloads,
                                 const PrefetcherSpec &spec,
                                 const SimParams &params = {});
 
-/** Geometric-mean speedup of test over baseline, element-wise. */
+/**
+ * Geometric-mean speedup of test over baseline, element-wise. The two
+ * vectors must be the same length — a mismatch means workloads went
+ * missing from one side and throws verify::SimError(ErrorKind::Config)
+ * instead of silently truncating the geomean.
+ */
 double speedupGeomean(const std::vector<SimResult> &test,
                       const std::vector<SimResult> &baseline);
 

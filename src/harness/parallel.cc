@@ -1,0 +1,160 @@
+#include "harness/parallel.hh"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "verify/sim_error.hh"
+
+namespace berti
+{
+
+unsigned
+parallelJobCount()
+{
+    if (const char *env = std::getenv("BERTI_JOBS")) {
+        const std::string text(env);
+        bool digits = !text.empty();
+        for (char c : text) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                digits = false;
+        }
+        unsigned long value = digits ? std::strtoul(env, nullptr, 10) : 0;
+        if (!digits || value == 0 || value > 4096) {
+            throw verify::SimError(
+                verify::ErrorKind::Config, "parallel",
+                "BERTI_JOBS must be a positive integer (got \"" + text +
+                    "\")");
+        }
+        return static_cast<unsigned>(value);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+void
+forEachIndexParallel(std::size_t total,
+                     const std::function<void(std::size_t)> &fn,
+                     unsigned jobs, const ProgressFn &progress)
+{
+    if (total == 0)
+        return;
+
+    unsigned pool = jobs ? jobs : parallelJobCount();
+    if (pool > total)
+        pool = static_cast<unsigned>(total);
+
+    // One slot per job: workers never touch each other's slots, and the
+    // post-join scan rethrows the lowest-index failure so error identity
+    // does not depend on the schedule.
+    std::vector<std::exception_ptr> failures(total);
+
+    if (pool <= 1) {
+        for (std::size_t i = 0; i < total; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                failures[i] = std::current_exception();
+            }
+            if (progress)
+                progress(i + 1, total);
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::mutex progress_mutex;
+        std::size_t done = 0;
+
+        auto worker = [&] {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= total)
+                    return;
+                try {
+                    fn(i);
+                } catch (...) {
+                    failures[i] = std::current_exception();
+                }
+                if (progress) {
+                    std::lock_guard<std::mutex> lock(progress_mutex);
+                    progress(++done, total);
+                }
+            }
+        };
+
+        std::vector<std::thread> threads;
+        threads.reserve(pool);
+        for (unsigned t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < total; ++i) {
+        if (failures[i])
+            std::rethrow_exception(failures[i]);
+    }
+}
+
+namespace
+{
+
+/** Fault injection shares one mutable injector across jobs; keep those
+ *  runs serial so the injection sequence stays reproducible. */
+unsigned
+effectiveJobs(const SimParams &params, unsigned jobs)
+{
+    return params.faults ? 1 : jobs;
+}
+
+} // namespace
+
+std::vector<SimResult>
+runSuiteParallel(const std::vector<Workload> &workloads,
+                 const PrefetcherSpec &spec, const SimParams &params,
+                 unsigned jobs, const ProgressFn &progress)
+{
+    std::vector<SimResult> out(workloads.size());
+    forEachIndexParallel(
+        workloads.size(),
+        [&](std::size_t i) { out[i] = simulate(workloads[i], spec, params); },
+        effectiveJobs(params, jobs), progress);
+    return out;
+}
+
+std::vector<std::vector<SimResult>>
+runMatrixParallel(const std::vector<Workload> &workloads,
+                  const std::vector<PrefetcherSpec> &specs,
+                  const SimParams &params, unsigned jobs,
+                  const ProgressFn &progress)
+{
+    const std::size_t w_count = workloads.size();
+    std::vector<std::vector<SimResult>> out(
+        specs.size(), std::vector<SimResult>(w_count));
+    forEachIndexParallel(
+        specs.size() * w_count,
+        [&](std::size_t cell) {
+            std::size_t s = cell / w_count;
+            std::size_t w = cell % w_count;
+            out[s][w] = simulate(workloads[w], specs[s], params);
+        },
+        effectiveJobs(params, jobs), progress);
+    return out;
+}
+
+ProgressFn
+stderrProgress(std::string label)
+{
+    return [label = std::move(label)](std::size_t done, std::size_t total) {
+        std::fprintf(stderr, "\r[bench] %-24s %3zu/%zu", label.c_str(),
+                     done, total);
+        if (done == total)
+            std::fprintf(stderr, "\n");
+        std::fflush(stderr);
+    };
+}
+
+} // namespace berti

@@ -1,6 +1,7 @@
 #include "trace/registry.hh"
 
 #include <map>
+#include <mutex>
 #include <stdexcept>
 
 #include "trace/gap_kernels.hh"
@@ -14,11 +15,15 @@ namespace
 {
 
 /// Graphs are expensive to build and immutable; share them across all
-/// kernel workloads and across repeated bench invocations.
+/// kernel workloads and across repeated bench invocations. Workload
+/// make() runs concurrently under the parallel runner, so the cache is
+/// mutex-guarded; the Csr itself is immutable and safe to share.
 std::shared_ptr<const Csr>
 sharedGraph(const std::string &name)
 {
+    static std::mutex mutex;
     static std::map<std::string, std::shared_ptr<const Csr>> cache;
+    std::lock_guard<std::mutex> lock(mutex);
     auto it = cache.find(name);
     if (it != cache.end())
         return it->second;

@@ -7,6 +7,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/table.hh"
+#include "verify/sim_error.hh"
 
 namespace berti
 {
@@ -43,9 +44,21 @@ TEST(Spec, L2OnlyCombo)
     EXPECT_EQ(s.l2()->name(), "bingo");
 }
 
-TEST(Spec, UnknownNameThrows)
+TEST(Spec, UnknownNameThrowsTypedError)
 {
-    EXPECT_THROW(makeSpec("quantum-oracle"), std::out_of_range);
+    try {
+        makeSpec("quantum-oracle");
+        FAIL() << "expected verify::SimError";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Config);
+        EXPECT_EQ(e.component(), "experiment");
+        EXPECT_NE(e.reason().find("quantum-oracle"), std::string::npos);
+    }
+}
+
+TEST(Spec, UnknownL2NameThrowsTypedError)
+{
+    EXPECT_THROW(makeSpec("berti+quantum-oracle"), verify::SimError);
 }
 
 TEST(Spec, BertiStorageIsTwoPointFiveFiveKb)
@@ -189,6 +202,19 @@ TEST(SpeedupGeomean, MatchesHandComputation)
     d.ipc = 2.0;  // 0.5x
     double g = speedupGeomean({a, c}, {b, d});
     EXPECT_NEAR(g, 1.0, 1e-9);
+}
+
+TEST(SpeedupGeomean, SizeMismatchIsHardError)
+{
+    SimResult a, b;
+    a.ipc = b.ipc = 1.0;
+    try {
+        speedupGeomean({a, a}, {b});
+        FAIL() << "expected verify::SimError";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Config);
+        EXPECT_NE(e.reason().find("mismatch"), std::string::npos);
+    }
 }
 
 } // namespace berti
