@@ -18,9 +18,55 @@
 #include "harness/experiment.hh"
 #include "harness/parallel.hh"
 #include "harness/table.hh"
+#include "obs/export.hh"
 
 namespace berti::bench
 {
+
+/** File-name-safe form of a workload/spec label. */
+inline std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                  c == '_';
+        out.push_back(ok ? c : '-');
+    }
+    return out.empty() ? std::string("unnamed") : out;
+}
+
+/**
+ * When BERTI_STATS_DIR is set, write one machine-diffable JSON sidecar
+ * per (spec, workload) cell — <dir>/<spec>__<workload>.json in the
+ * stable resultSnapshot() schema. Colliding sanitized names get a
+ * numeric suffix so no cell silently overwrites another. Called by
+ * runSpecMatrix after the pool joins, so results arrive in input order
+ * and the sidecar set is identical for every BERTI_JOBS value.
+ */
+inline void
+writeStatsSidecars(const std::vector<Workload> &workloads,
+                   const std::vector<PrefetcherSpec> &specs,
+                   const std::vector<std::vector<SimResult>> &grid)
+{
+    const char *dir = std::getenv("BERTI_STATS_DIR");
+    if (!dir || !dir[0])
+        return;
+    std::map<std::string, unsigned> used;
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            std::string stem = sanitizeLabel(specs[s].name) + "__" +
+                               sanitizeLabel(workloads[w].name);
+            unsigned n = used[stem]++;
+            if (n > 0)
+                stem += "." + std::to_string(n);
+            obs::writeFile(std::string(dir) + "/" + stem + ".json",
+                           obs::toJson(resultSnapshot(grid[s][w])));
+        }
+    }
+}
 
 /** Default region-of-interest sizes for bench runs. Set
  *  BERTI_BENCH_QUICK=1 in the environment for a fast smoke pass. */
@@ -49,8 +95,10 @@ runSpecMatrix(const std::vector<Workload> &workloads,
               const std::vector<PrefetcherSpec> &specs,
               const SimParams &params, const std::string &label = "matrix")
 {
-    return runMatrixParallel(workloads, specs, params, /*jobs=*/0,
-                             stderrProgress(label));
+    auto grid = runMatrixParallel(workloads, specs, params, /*jobs=*/0,
+                                  stderrProgress(label));
+    writeStatsSidecars(workloads, specs, grid);
+    return grid;
 }
 
 /** spec-name -> per-workload results, scheduled on the parallel pool. */

@@ -23,6 +23,10 @@ for b in build/bench/*; do
     [ -s "results/$n.txt" ] && continue
     echo "=== $n start $(date +%T) (BERTI_JOBS=$BERTI_JOBS)"
     tmp="results/.$n.txt.tmp"
+    # Machine-diffable JSON stats sidecars, one per (spec, workload)
+    # cell, next to the human-readable table output.
+    BERTI_STATS_DIR="results/stats/$n"
+    export BERTI_STATS_DIR
     if "./build/bench/$n" > "$tmp" 2> "results/log/$n.stderr"; then
         mv "$tmp" "results/$n.txt"
         echo "=== $n done $(date +%T)"

@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include "obs/metrics.hh"
+
 namespace berti
 {
 
@@ -202,6 +204,18 @@ Core::readDone(const MemRequest &req)
             return;
         }
     }
+}
+
+void
+Core::registerMetrics(obs::MetricsRegistry &registry,
+                      const std::string &prefix)
+{
+    forEachStatField(stats,
+                     [&](const char *name, std::uint64_t &cell) {
+                         registry.counter(prefix + name, &cell);
+                     });
+    registry.gauge(prefix + "ipc", [this] { return stats.ipc(); });
+    itlb.registerMetrics(registry, prefix + "itlb.");
 }
 
 } // namespace berti

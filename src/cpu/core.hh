@@ -61,6 +61,14 @@ class Core : public ReadClient
     // ReadClient: load and instruction-fetch completions from the L1s.
     void readDone(const MemRequest &req) override;
 
+    /**
+     * Register this core's retirement counters, the derived IPC gauge
+     * and the private iTLB counters (under prefix + "itlb.") into the
+     * registry. Called once at Machine construction.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix);
+
     // Introspection for the forward-progress watchdog and diagnostics.
     std::size_t robOccupancy() const { return rob.size(); }
     bool robEmpty() const { return rob.empty(); }

@@ -95,6 +95,15 @@ makeBertiSpec(const BertiConfig &cfg, const std::string &label)
     return spec;
 }
 
+obs::MetricsSnapshot
+resultSnapshot(const SimResult &result)
+{
+    obs::MetricsSnapshot snap = obs::snapshotOf(result.roi);
+    snap.setGauge("ipc", result.ipc);
+    obs::appendEnergy(snap, result.energy);
+    return snap;
+}
+
 SimResult
 simulate(const Workload &workload, const PrefetcherSpec &spec,
          const SimParams &params)

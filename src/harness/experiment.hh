@@ -14,6 +14,7 @@
 #include "core/berti.hh"
 #include "energy/energy_model.hh"
 #include "harness/machine.hh"
+#include "obs/export.hh"
 #include "trace/registry.hh"
 #include "verify/fault_injector.hh"
 
@@ -67,6 +68,14 @@ struct SimParams
     /** Optional fault injection; must outlive the simulation call. */
     verify::FaultInjector *faults = nullptr;
 };
+
+/**
+ * Flat, diffable export of one SimResult: every ROI counter, the
+ * derived per-level gauges, the headline "ipc" gauge and the energy
+ * breakdown. This is the golden-stats schema — bit-identical for
+ * identical simulations regardless of BERTI_JOBS.
+ */
+obs::MetricsSnapshot resultSnapshot(const SimResult &result);
 
 /** Run one workload on the Table II machine with the given spec. */
 SimResult simulate(const Workload &workload, const PrefetcherSpec &spec,

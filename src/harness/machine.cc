@@ -1,5 +1,6 @@
 #include "harness/machine.hh"
 
+#include "energy/energy_model.hh"
 #include "verify/fault_injector.hh"
 #include "verify/sim_error.hh"
 
@@ -103,6 +104,9 @@ Machine::Machine(const MachineConfig &config,
     llc = std::make_unique<Cache>(llc_cfg, &clock);
     llc->setLower(dram.get());
 
+    if (cfg.pfTrace.capacity > 0)
+        ptraces.resize(cfg.cores);
+
     for (unsigned c = 0; c < cfg.cores; ++c) {
         auto node = std::make_unique<CoreNode>();
 
@@ -125,6 +129,14 @@ Machine::Machine(const MachineConfig &config,
             node->l2Cache->setPrefetcher(cfg.l2Prefetcher());
         if (cfg.l1iPrefetcher)
             node->l1iCache->setPrefetcher(cfg.l1iPrefetcher());
+
+        if (cfg.pfTrace.capacity > 0) {
+            ptraces[c] =
+                std::make_unique<obs::PrefetchEventTrace>(cfg.pfTrace);
+            node->l1iCache->setEventTrace(ptraces[c].get());
+            node->l1dCache->setEventTrace(ptraces[c].get());
+            node->l2Cache->setEventTrace(ptraces[c].get());
+        }
 
         node->cpu = std::make_unique<Core>(
             cfg.core, &clock, c, generators[c], node->l1iCache.get(),
@@ -159,6 +171,43 @@ Machine::Machine(const MachineConfig &config,
     snapshots.resize(cfg.cores);
     for (unsigned c = 0; c < cfg.cores; ++c)
         snapshots[c] = liveStats(c);
+
+    registerAllMetrics();
+    if (cfg.sampler.interval > 0) {
+        sampler = std::make_unique<obs::IntervalSampler>(&metricsReg,
+                                                         cfg.sampler);
+    }
+}
+
+void
+Machine::registerAllMetrics()
+{
+    metricsReg.counter("machine.cycles", &clock);
+    dram->registerMetrics(metricsReg, "dram.");
+    llc->registerMetrics(metricsReg, "llc.");
+    for (unsigned c = 0; c < cfg.cores; ++c) {
+        std::string p = "c" + std::to_string(c) + ".";
+        CoreNode &n = *nodes[c];
+        n.cpu->registerMetrics(metricsReg, p + "core.");
+        n.l1iCache->registerMetrics(metricsReg, p + "l1i.");
+        n.l1dCache->registerMetrics(metricsReg, p + "l1d.");
+        n.l2Cache->registerMetrics(metricsReg, p + "l2.");
+        n.tu->registerMetrics(metricsReg, p + "dtlb.", p + "stlb.");
+    }
+    // Dynamic-energy gauges over the machine-wide aggregate, matching
+    // the paper's energy figures (normalised elsewhere).
+    auto energy_gauge = [this](double EnergyBreakdown::*part) {
+        return [this, part] {
+            return EnergyModel().evaluate(aggregateStats()).*part;
+        };
+    };
+    metricsReg.gauge("energy.l1", energy_gauge(&EnergyBreakdown::l1));
+    metricsReg.gauge("energy.l2", energy_gauge(&EnergyBreakdown::l2));
+    metricsReg.gauge("energy.llc", energy_gauge(&EnergyBreakdown::llc));
+    metricsReg.gauge("energy.dram", energy_gauge(&EnergyBreakdown::dram));
+    metricsReg.gauge("energy.total", [this] {
+        return EnergyModel().evaluate(aggregateStats()).total();
+    });
 }
 
 void
@@ -207,6 +256,9 @@ Machine::run(std::uint64_t target_instructions)
         int wedged = watchdog.stalledCore();
         if (wedged >= 0)
             failWedged(static_cast<unsigned>(wedged));
+        if (sampler)
+            sampler->maybeSample(nodes[0]->cpu->stats.instructions,
+                                 clock);
     }
 }
 
@@ -303,6 +355,26 @@ RunStats
 Machine::coreSnapshot(unsigned c) const
 {
     return snapshots[c];
+}
+
+RunStats
+Machine::aggregateStats() const
+{
+    RunStats s;
+    for (const auto &n : nodes) {
+        addStatFields(s.core, n->cpu->stats);
+        addStatFields(s.l1i, n->l1iCache->stats);
+        addStatFields(s.l1d, n->l1dCache->stats);
+        addStatFields(s.l2, n->l2Cache->stats);
+        TlbStats dtlb = n->tu->dtlbStats();
+        TlbStats stlb = n->tu->stlbStats();
+        addStatFields(s.dtlb, dtlb);
+        addStatFields(s.stlb, stlb);
+    }
+    s.core.cycles = clock;
+    s.llc = llc->stats;
+    s.dram = dram->stats;
+    return s;
 }
 
 } // namespace berti

@@ -15,6 +15,9 @@
 #include "cpu/core.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 #include "sim/stats.hh"
 #include "trace/instr.hh"
 #include "verify/auditor.hh"
@@ -45,6 +48,12 @@ struct MachineConfig
     PrefetcherFactory l1dPrefetcher;  //!< null = no L1D prefetcher
     PrefetcherFactory l2Prefetcher;   //!< null = no L2 prefetcher
     PrefetcherFactory l1iPrefetcher;  //!< null = no L1I prefetcher
+
+    // --------------------------------------------- observability layer
+    /** Interval time-series sampling; off unless BERTI_OBS_INTERVAL. */
+    obs::SamplerConfig sampler = obs::SamplerConfig::fromEnv();
+    /** Prefetch event tracing; off unless BERTI_OBS_PFTRACE. */
+    obs::TraceConfig pfTrace = obs::TraceConfig::fromEnv();
 
     // ------------------------------------------------ hardening layer
     /** Invariant checking; defaults honour BERTI_VERIFY=1 so CI audits
@@ -108,6 +117,39 @@ class Machine
     /** Live statistics right now. */
     RunStats liveStats(unsigned core_id) const;
 
+    /**
+     * Machine-wide live statistics: core-private structures summed over
+     * all cores, the shared LLC/DRAM counted once, cycles = wall clock.
+     */
+    RunStats aggregateStats() const;
+
+    /**
+     * The per-Machine metrics registry. Every component registered its
+     * counters, derived gauges and histograms here at construction,
+     * under "c<N>." per-core prefixes plus shared "llc." / "dram." /
+     * "machine." / "energy." names.
+     */
+    obs::MetricsRegistry &metrics() { return metricsReg; }
+    const obs::MetricsRegistry &metrics() const { return metricsReg; }
+
+    /** Materialised snapshot of every registered metric, right now. */
+    obs::MetricsSnapshot metricsSnapshot() const
+    {
+        return metricsReg.snapshot();
+    }
+
+    /** The interval time-series, when cfg.sampler.interval (else null). */
+    const obs::IntervalSeries *intervalSeries() const
+    {
+        return sampler ? &sampler->series() : nullptr;
+    }
+
+    /** Core's prefetch event trace, when cfg.pfTrace (else null). */
+    const obs::PrefetchEventTrace *prefetchTrace(unsigned core_id) const
+    {
+        return ptraces.empty() ? nullptr : ptraces[core_id].get();
+    }
+
     Cycle cycle() const { return clock; }
 
     Cache &l1d(unsigned core_id) { return *nodes[core_id]->l1dCache; }
@@ -131,14 +173,20 @@ class Machine
 
     MachineConfig cfg;
     Cycle clock = 0;
+    // Declared before the components so it outlives none of them while
+    // they register; it stores raw pointers into them, never owning.
+    obs::MetricsRegistry metricsReg;
+    std::vector<std::unique_ptr<obs::PrefetchEventTrace>> ptraces;
     std::unique_ptr<Dram> dram;
     std::unique_ptr<Cache> llc;
     std::vector<std::unique_ptr<CoreNode>> nodes;
     std::vector<RunStats> snapshots;
     std::unique_ptr<verify::SimAuditor> audit;
     verify::ProgressWatchdog watchdog;
+    std::unique_ptr<obs::IntervalSampler> sampler;
 
     void tick();
+    void registerAllMetrics();
 
     [[noreturn]] void failWedged(unsigned core_id);
 };

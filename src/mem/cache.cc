@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include "obs/event_trace.hh"
+#include "obs/metrics.hh"
 #include "verify/fault_injector.hh"
 #include "verify/sim_error.hh"
 #include "vm/tlb.hh"
@@ -32,6 +34,8 @@ validateCacheConfig(const CacheConfig &cfg)
 
 Cache::Cache(const CacheConfig &config, const Cycle *clock_ptr)
     : cfg(config), clock(clock_ptr),
+      fillLatencyHist(
+          std::make_unique<obs::Histogram>(obs::Histogram::log2())),
       pf(std::make_unique<NoPrefetcher>()),
       repl(makeReplPolicy(cfg.repl, cfg.sets, cfg.ways)),
       lines(static_cast<std::size_t>(cfg.sets) * cfg.ways),
@@ -49,6 +53,22 @@ Cache::setPrefetcher(std::unique_ptr<Prefetcher> prefetcher)
     pf = prefetcher ? std::move(prefetcher)
                     : std::make_unique<NoPrefetcher>();
     pf->bind(this);
+}
+
+void
+Cache::registerMetrics(obs::MetricsRegistry &registry,
+                       const std::string &prefix)
+{
+    forEachStatField(stats, [&registry, &prefix](const char *name,
+                                                 std::uint64_t &cell) {
+        registry.counter(prefix + name, &cell);
+    });
+    registry.gauge(prefix + "accuracy",
+                   [this] { return stats.accuracy(); });
+    registry.gauge(prefix + "mshr_occupancy",
+                   [this] { return mshrOccupancy(); });
+    registry.histogram(prefix + "fill_latency", fillLatencyHist.get());
+    pf->registerMetrics(registry, prefix + "pf.");
 }
 
 void
@@ -176,6 +196,10 @@ Cache::issuePrefetch(Addr line_addr, FillLevel level)
         }
         if (!translation->prefetchTranslate(lineToByte(line_addr), paddr)) {
             ++stats.prefetchDroppedTlb;
+            if (ptrace) {
+                ptrace->record(*clock, obs::PfEvent::DropTlb, line_addr,
+                               trainIp);
+            }
             return false;
         }
         req.pLine = lineAddr(paddr);
@@ -185,10 +209,30 @@ Cache::issuePrefetch(Addr line_addr, FillLevel level)
 
     if (pq.size() >= cfg.pqSize) {
         ++stats.prefetchDroppedFull;
+        if (ptrace) {
+            ptrace->record(*clock, obs::PfEvent::DropFull, line_addr,
+                           trainIp);
+        }
         return false;
     }
     pq.push_back(req);
     ++stats.prefetchIssued;
+
+    // Classify against the access that (synchronously) triggered this
+    // prefetch: a target on another 4 KB page is the cross-page regime
+    // Berti's section IV-J ablates. Prefetchers that issue from tick()
+    // have no live trigger and are left unclassified.
+    if (trainVLine != kNoAddr &&
+        (line_addr >> (kPageBits - kLineBits)) !=
+            (trainVLine >> (kPageBits - kLineBits))) {
+        ++stats.prefetchCrossPage;
+        if (ptrace) {
+            ptrace->record(*clock, obs::PfEvent::CrossPage, line_addr,
+                           trainIp);
+        }
+    }
+    if (ptrace)
+        ptrace->record(*clock, obs::PfEvent::Issue, line_addr, trainIp);
     return true;
 }
 
@@ -217,11 +261,18 @@ Cache::fastHit(Addr p_line)
         l->pfUsed = true;
         ++stats.prefetchUseful;
         info.firstHitOnPrefetch = true;
+        if (ptrace)
+            ptrace->record(*clock, obs::PfEvent::Useful, p_line, 0);
     }
     repl->onHit(setIndex(p_line),
                 static_cast<unsigned>((l - lines.data()) % cfg.ways));
-    if (cfg.trainOnInstrFetch)
+    if (cfg.trainOnInstrFetch) {
+        trainVLine = cfg.isL1d ? info.vLine : info.pLine;
+        trainIp = info.ip;
         pf->onAccess(info);
+        trainVLine = kNoAddr;
+        trainIp = 0;
+    }
     return true;
 }
 
@@ -334,12 +385,20 @@ Cache::handleRead(MemRequest &req)
                 info.firstHitOnPrefetch = true;
                 info.prefetchLatency = l->pfLatency;
                 l->pfLatency = 0;  // reset after the training search
+                if (ptrace) {
+                    ptrace->record(*clock, obs::PfEvent::Useful,
+                                   req.pLine, req.ip);
+                }
             }
             if (req.type == AccessType::Load ||
                 req.type == AccessType::Rfo ||
                 (cfg.trainOnInstrFetch &&
                  req.type == AccessType::InstrFetch)) {
+                trainVLine = cfg.isL1d ? info.vLine : info.pLine;
+                trainIp = info.ip;
                 pf->onAccess(info);
+                trainVLine = kNoAddr;
+                trainIp = 0;
             }
         } else {
             // An in-flight prefetch from above found the line here.
@@ -376,6 +435,10 @@ Cache::handleRead(MemRequest &req)
                 ++stats.prefetchLate;
                 e->ip = req.ip;
                 e->vLine = req.vLine;
+                if (ptrace) {
+                    ptrace->record(*clock, obs::PfEvent::Late,
+                                   req.pLine, req.ip);
+                }
             }
             e->hadDemand = true;
             if (req.type == AccessType::Rfo)
@@ -439,7 +502,11 @@ Cache::handleRead(MemRequest &req)
         info.ip = req.ip;
         info.type = req.type;
         info.hit = false;
+        trainVLine = cfg.isL1d ? info.vLine : info.pLine;
+        trainIp = info.ip;
         pf->onAccess(info);
+        trainVLine = kNoAddr;
+        trainIp = 0;
     }
     return true;
 }
@@ -589,6 +656,7 @@ Cache::readDone(const MemRequest &req)
     Cycle latency = *clock - e->ts;
     stats.fillLatencySum += latency;
     ++stats.fillLatencyCount;
+    fillLatencyHist->record(latency);
 
     if (Line *present = findLine(e->pLine)) {
         // The line was installed while the miss was in flight (a dirty
@@ -614,6 +682,9 @@ Cache::readDone(const MemRequest &req)
             ++stats.prefetchUseful;  // late but useful
         else
             l.pfLatency = latency;   // kept for hit-time training
+        if (ptrace) {
+            ptrace->record(*clock, obs::PfEvent::Fill, e->pLine, e->ip);
+        }
     }
 
     Prefetcher::FillInfo info;

@@ -24,6 +24,13 @@ namespace berti
 
 class TranslationUnit;
 
+namespace obs
+{
+class Histogram;
+class MetricsRegistry;
+class PrefetchEventTrace;
+} // namespace obs
+
 namespace verify
 {
 class FaultInjector;
@@ -95,6 +102,30 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
     void setFaultInjector(verify::FaultInjector *injector)
     {
         faults = injector;
+    }
+
+    /**
+     * Optional prefetch event trace (null = off, the default). The
+     * trace must outlive the cache; the Machine owns one per traced
+     * level when BERTI_OBS_PFTRACE is set.
+     */
+    void setEventTrace(obs::PrefetchEventTrace *trace) { ptrace = trace; }
+    const obs::PrefetchEventTrace *eventTrace() const { return ptrace; }
+
+    /**
+     * Register this level's counters, derived gauges (accuracy, MSHR
+     * occupancy), the fill-latency histogram and the attached
+     * prefetcher's metrics (under prefix + "pf.") into the registry.
+     * Called once at Machine construction; the registry must outlive
+     * the cache.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix);
+
+    /** Distribution of MSHR fill latencies (log2 buckets, cycles). */
+    const obs::Histogram &fillLatencyHistogram() const
+    {
+        return *fillLatencyHist;
     }
 
     /**
@@ -216,8 +247,16 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
     MemLevel *lower = nullptr;
     TranslationUnit *translation = nullptr;
     verify::FaultInjector *faults = nullptr;
+    obs::PrefetchEventTrace *ptrace = nullptr;
+    std::unique_ptr<obs::Histogram> fillLatencyHist;
     std::unique_ptr<Prefetcher> pf;
     std::unique_ptr<ReplPolicy> repl;
+
+    // Triggering access of the prefetcher hook currently running, used
+    // to classify synchronously issued prefetches (cross-page counting
+    // and event-trace attribution).
+    Addr trainVLine = kNoAddr;
+    Addr trainIp = 0;
 
     // Victim info of the most recent fillLine, consumed by readDone to
     // populate the prefetcher's FillInfo.

@@ -1,5 +1,6 @@
 #include "mem/dram.hh"
 
+#include "obs/metrics.hh"
 #include "verify/fault_injector.hh"
 
 namespace berti
@@ -154,6 +155,22 @@ Dram::tick()
         cfg.tRp + cfg.tRcd + cfg.tCas + 4 * cfg.burstCycles();
     if (busFreeCycle <= *clock + lookahead)
         scheduleOne();
+}
+
+void
+Dram::registerMetrics(obs::MetricsRegistry &registry,
+                      const std::string &prefix)
+{
+    forEachStatField(stats,
+                     [&](const char *name, std::uint64_t &cell) {
+                         registry.counter(prefix + name, &cell);
+                     });
+    registry.gauge(prefix + "row_hit_rate", [this] {
+        std::uint64_t accesses =
+            stats.rowHits + stats.rowMisses + stats.rowConflicts;
+        return accesses ? static_cast<double>(stats.rowHits) / accesses
+                        : 0.0;
+    });
 }
 
 } // namespace berti

@@ -82,6 +82,13 @@ class Dram : public MemLevel
         faults = injector;
     }
 
+    /**
+     * Register the DRAM access counters and a derived row-hit-rate
+     * gauge into the registry. Called once at Machine construction.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix);
+
     DramStats stats;
 
   private:

@@ -1,0 +1,82 @@
+#include "obs/event_trace.hh"
+
+#include <cstdlib>
+
+#include "verify/sim_error.hh"
+
+namespace berti::obs
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &reason)
+{
+    throw verify::SimError(verify::ErrorKind::Config, "obs", reason);
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(raw, &end, 10);
+    if (!end || *end != '\0' || v == 0) {
+        fail(std::string(name) + "=\"" + raw +
+             "\" is not a positive integer");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+const char *
+pfEventName(PfEvent e)
+{
+    switch (e) {
+      case PfEvent::Issue: return "issue";
+      case PfEvent::Fill: return "fill";
+      case PfEvent::Useful: return "useful";
+      case PfEvent::Late: return "late";
+      case PfEvent::CrossPage: return "cross_page";
+      case PfEvent::DropTlb: return "drop_tlb";
+      case PfEvent::DropFull: return "drop_full";
+    }
+    return "unknown";
+}
+
+TraceConfig
+TraceConfig::fromEnv()
+{
+    TraceConfig cfg;
+    if (std::getenv("BERTI_OBS_PFTRACE"))
+        cfg.capacity =
+            static_cast<std::size_t>(envU64("BERTI_OBS_PFTRACE", 0));
+    cfg.samplePeriod =
+        envU64("BERTI_OBS_PFTRACE_PERIOD", cfg.samplePeriod);
+    return cfg;
+}
+
+PrefetchEventTrace::PrefetchEventTrace(const TraceConfig &cfg)
+    : ring(cfg.capacity), period(cfg.samplePeriod)
+{
+    if (cfg.capacity == 0)
+        fail("prefetch event trace capacity must be positive");
+    if (period == 0)
+        fail("prefetch event trace sample period must be positive");
+}
+
+const PfEventRecord &
+PrefetchEventTrace::event(std::size_t i) const
+{
+    if (i >= held)
+        fail("event index " + std::to_string(i) +
+             " out of range (size " + std::to_string(held) + ")");
+    std::size_t slot = held < ring.size() ? i : (next + i) % ring.size();
+    return ring[slot];
+}
+
+} // namespace berti::obs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Prefetch event trace: a capped, optionally sampled ring of the
+ * individual prefetch lifecycle events (issue, fill, first useful hit,
+ * late merge, cross-page issue, drops) at one cache level, so Berti's
+ * timeliness claims can be inspected event by event instead of only
+ * through aggregate counters. Off by default; a disabled trace is a
+ * null pointer in the cache and costs one branch per event site.
+ */
+
+#ifndef BERTI_OBS_EVENT_TRACE_HH
+#define BERTI_OBS_EVENT_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace berti::obs
+{
+
+/** Lifecycle stage of a traced prefetch event. */
+enum class PfEvent : std::uint8_t
+{
+    Issue,      //!< accepted into the prefetch queue
+    Fill,       //!< line installed by a prefetch
+    Useful,     //!< first demand hit on a prefetched line (timely)
+    Late,       //!< demand merged into an in-flight prefetch MSHR
+    CrossPage,  //!< issued into a different page than its trigger
+    DropTlb,    //!< dropped: STLB miss on translation
+    DropFull    //!< dropped: prefetch queue full
+};
+
+constexpr std::size_t kPfEventKinds = 7;
+
+const char *pfEventName(PfEvent e);
+
+/** Event trace configuration, resolved once per MachineConfig. */
+struct TraceConfig
+{
+    /** Ring capacity in events; 0 disables tracing entirely. */
+    std::size_t capacity = 0;
+
+    /** Record every Nth event (per kind-independent arrival order). */
+    std::uint64_t samplePeriod = 1;
+
+    /**
+     * Environment defaults: BERTI_OBS_PFTRACE=N enables an N-event ring
+     * (N >= 1); BERTI_OBS_PFTRACE_PERIOD=K keeps every Kth event. A
+     * malformed value throws verify::SimError(ErrorKind::Config).
+     */
+    static TraceConfig fromEnv();
+};
+
+/** One recorded prefetch event. */
+struct PfEventRecord
+{
+    Cycle cycle = 0;
+    Addr line = kNoAddr;   //!< virtual line at L1D, physical below
+    Addr ip = 0;           //!< triggering/allocating IP when known
+    PfEvent kind = PfEvent::Issue;
+};
+
+/**
+ * Capped + sampled ring of PfEventRecords. Per-kind totals are always
+ * exact regardless of sampling, so the trace doubles as a cheap event
+ * census; the ring holds the most recent sampled events.
+ */
+class PrefetchEventTrace
+{
+  public:
+    explicit PrefetchEventTrace(const TraceConfig &cfg);
+
+    void
+    record(Cycle cycle, PfEvent kind, Addr line, Addr ip)
+    {
+        ++totals[static_cast<std::size_t>(kind)];
+        if (++arrivals % period != 0)
+            return;
+        PfEventRecord &r = ring[next];
+        r.cycle = cycle;
+        r.line = line;
+        r.ip = ip;
+        r.kind = kind;
+        next = (next + 1) % ring.size();
+        if (held < ring.size())
+            ++held;
+    }
+
+    /** Events retained in the ring (<= capacity). */
+    std::size_t size() const { return held; }
+    std::size_t capacity() const { return ring.size(); }
+    std::uint64_t samplePeriod() const { return period; }
+
+    /** Exact per-kind event count, independent of sampling/capping. */
+    std::uint64_t total(PfEvent kind) const
+    {
+        return totals[static_cast<std::size_t>(kind)];
+    }
+
+    /** All events ever seen (sampled or not). */
+    std::uint64_t totalSeen() const { return arrivals; }
+
+    /** i = 0 is the oldest retained event, i = size()-1 the newest. */
+    const PfEventRecord &event(std::size_t i) const;
+
+  private:
+    std::vector<PfEventRecord> ring;
+    std::uint64_t period;
+    std::size_t held = 0;
+    std::size_t next = 0;
+    std::uint64_t arrivals = 0;
+    std::array<std::uint64_t, kPfEventKinds> totals{};
+};
+
+} // namespace berti::obs
+
+#endif // BERTI_OBS_EVENT_TRACE_HH

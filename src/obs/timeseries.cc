@@ -1,0 +1,119 @@
+#include "obs/timeseries.hh"
+
+#include <cstdlib>
+
+#include "verify/sim_error.hh"
+
+namespace berti::obs
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &reason)
+{
+    throw verify::SimError(verify::ErrorKind::Config, "obs", reason);
+}
+
+/** Strict positive-integer env parse; unset returns fallback. */
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(raw, &end, 10);
+    if (!end || *end != '\0' || v == 0) {
+        fail(std::string(name) + "=\"" + raw +
+             "\" is not a positive integer");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
+
+SamplerConfig
+SamplerConfig::fromEnv()
+{
+    SamplerConfig cfg;
+    if (std::getenv("BERTI_OBS_INTERVAL"))
+        cfg.interval = envU64("BERTI_OBS_INTERVAL", 0);
+    cfg.capacity =
+        static_cast<std::size_t>(envU64("BERTI_OBS_RING", cfg.capacity));
+    return cfg;
+}
+
+IntervalSeries::IntervalSeries(std::vector<std::string> column_names,
+                               std::size_t capacity)
+    : names(std::move(column_names)), cap(capacity)
+{
+    if (cap == 0)
+        fail("interval series capacity must be positive");
+    instrs.resize(cap, 0);
+    cycles.resize(cap, 0);
+    data.resize(cap * names.size(), 0);
+}
+
+void
+IntervalSeries::append(std::uint64_t instructions, std::uint64_t cycle,
+                       const std::vector<std::uint64_t> &values)
+{
+    if (values.size() != names.size()) {
+        fail("interval sample width " + std::to_string(values.size()) +
+             " does not match column count " +
+             std::to_string(names.size()));
+    }
+    instrs[next] = instructions;
+    cycles[next] = cycle;
+    std::uint64_t *row = data.data() + next * names.size();
+    for (std::size_t i = 0; i < values.size(); ++i)
+        row[i] = values[i];
+    next = (next + 1) % cap;
+    if (held < cap)
+        ++held;
+    else
+        ++overwritten;
+}
+
+IntervalSeries::Sample
+IntervalSeries::sample(std::size_t i) const
+{
+    if (i >= held)
+        fail("interval sample index " + std::to_string(i) +
+             " out of range (size " + std::to_string(held) + ")");
+    // Oldest sample sits at `next` once the ring has wrapped.
+    std::size_t slot = held < cap ? i : (next + i) % cap;
+    Sample s;
+    s.instructions = instrs[slot];
+    s.cycle = cycles[slot];
+    s.values = data.data() + slot * names.size();
+    return s;
+}
+
+IntervalSampler::IntervalSampler(const MetricsRegistry *registry,
+                                 const SamplerConfig &cfg)
+    : reg(registry), step(cfg.interval), nextAt(cfg.interval),
+      ring(registry ? registry->counterNames()
+                    : std::vector<std::string>{},
+           cfg.capacity)
+{
+    if (!reg)
+        fail("interval sampler needs a registry");
+    if (step == 0)
+        fail("interval sampler needs a positive interval");
+    scratch.reserve(ring.columns().size());
+}
+
+void
+IntervalSampler::takeSample(std::uint64_t retired, std::uint64_t cycle)
+{
+    reg->sampleCounters(scratch);
+    ring.append(retired, cycle, scratch);
+    // One sample per boundary crossing even when several boundaries
+    // passed since the last call (e.g. a multi-retire cycle).
+    nextAt = (retired / step + 1) * step;
+}
+
+} // namespace berti::obs

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Interval-resolved time series: a ring-buffered table of counter
+ * samples taken every N retired instructions, so phase behaviour
+ * (Berti paper section IV, Bueno et al.'s representativeness critique)
+ * can be inspected instead of only end-to-end aggregates.
+ *
+ * The sampler is off by default and costs one pointer test per machine
+ * tick when disabled. When enabled (BERTI_OBS_INTERVAL=N), each sample
+ * is one pass over the registry's counter cells into preallocated ring
+ * storage — no allocation on the simulation path after construction.
+ */
+
+#ifndef BERTI_OBS_TIMESERIES_HH
+#define BERTI_OBS_TIMESERIES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace berti::obs
+{
+
+/** Interval sampling configuration, resolved once per MachineConfig. */
+struct SamplerConfig
+{
+    /** Instructions between samples; 0 disables sampling entirely. */
+    std::uint64_t interval = 0;
+
+    /** Ring capacity in samples; the ring keeps the most recent ones. */
+    std::size_t capacity = 1024;
+
+    /**
+     * Environment defaults: BERTI_OBS_INTERVAL=N enables sampling every
+     * N retired instructions; BERTI_OBS_RING=K overrides the ring
+     * capacity. A malformed (non-positive-integer) value throws
+     * verify::SimError(ErrorKind::Config), like BERTI_JOBS.
+     */
+    static SamplerConfig fromEnv();
+};
+
+/**
+ * Fixed-capacity ring of counter-row samples. Column names are fixed at
+ * construction; every append stores one value per column plus the
+ * (instructions, cycle) position of the sample. When the ring is full
+ * the oldest sample is overwritten and dropped() grows.
+ */
+class IntervalSeries
+{
+  public:
+    IntervalSeries(std::vector<std::string> column_names,
+                   std::size_t capacity);
+
+    /** values.size() must equal columns().size(); throws
+     *  verify::SimError(ErrorKind::Config) otherwise. Zero-alloc. */
+    void append(std::uint64_t instructions, std::uint64_t cycle,
+                const std::vector<std::uint64_t> &values);
+
+    const std::vector<std::string> &columns() const { return names; }
+
+    /** Samples currently held (<= capacity). */
+    std::size_t size() const { return held; }
+    std::size_t capacity() const { return cap; }
+
+    /** Samples overwritten because the ring wrapped. */
+    std::uint64_t dropped() const { return overwritten; }
+
+    /** Total appends ever (size() + dropped()). */
+    std::uint64_t totalAppends() const { return held + overwritten; }
+
+    struct Sample
+    {
+        std::uint64_t instructions = 0;
+        std::uint64_t cycle = 0;
+        const std::uint64_t *values = nullptr;  //!< columns().size() wide
+    };
+
+    /** i = 0 is the oldest retained sample, i = size()-1 the newest. */
+    Sample sample(std::size_t i) const;
+
+  private:
+    std::vector<std::string> names;
+    std::size_t cap;
+    std::size_t held = 0;
+    std::size_t next = 0;          //!< ring write index
+    std::uint64_t overwritten = 0;
+    std::vector<std::uint64_t> instrs;   //!< cap entries
+    std::vector<std::uint64_t> cycles;   //!< cap entries
+    std::vector<std::uint64_t> data;     //!< cap * names.size() entries
+};
+
+/**
+ * Drives an IntervalSeries from a MetricsRegistry: call
+ * maybeSample(retired, cycle) on the machine tick path; a sample is
+ * taken each time the retired-instruction count crosses the next
+ * interval boundary.
+ */
+class IntervalSampler
+{
+  public:
+    /** The registry must outlive the sampler; its counter set is frozen
+     *  at sampler construction. cfg.interval must be positive. */
+    IntervalSampler(const MetricsRegistry *registry,
+                    const SamplerConfig &cfg);
+
+    void
+    maybeSample(std::uint64_t retired_instructions, std::uint64_t cycle)
+    {
+        if (retired_instructions >= nextAt)
+            takeSample(retired_instructions, cycle);
+    }
+
+    const IntervalSeries &series() const { return ring; }
+    std::uint64_t interval() const { return step; }
+
+  private:
+    void takeSample(std::uint64_t retired, std::uint64_t cycle);
+
+    const MetricsRegistry *reg;
+    std::uint64_t step;
+    std::uint64_t nextAt;
+    IntervalSeries ring;
+    std::vector<std::uint64_t> scratch;  //!< reused sample row
+};
+
+} // namespace berti::obs
+
+#endif // BERTI_OBS_TIMESERIES_HH

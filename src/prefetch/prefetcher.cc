@@ -1,8 +1,17 @@
 #include "prefetch/prefetcher.hh"
 
-// The framework is header-only today; this translation unit anchors the
-// vtable of Prefetcher so every user does not re-emit it.
+#include "obs/metrics.hh"
 
 namespace berti
 {
+
+void
+Prefetcher::registerMetrics(obs::MetricsRegistry &registry,
+                            const std::string &prefix)
+{
+    registry.gauge(prefix + "storage_bits", [this] {
+        return static_cast<double>(storageBits());
+    });
+}
+
 } // namespace berti

@@ -18,6 +18,11 @@
 namespace berti
 {
 
+namespace obs
+{
+class MetricsRegistry;
+} // namespace obs
+
 /**
  * Services a prefetcher offers from its host cache: issuing requests and
  * observing time / MSHR pressure. Implemented by Cache.
@@ -94,6 +99,17 @@ class Prefetcher
     virtual std::uint64_t storageBits() const = 0;
 
     virtual std::string name() const = 0;
+
+    /**
+     * Register this prefetcher's metrics under the given prefix (e.g.
+     * "c0.l1d.pf."). The base implementation registers the storage
+     * budget as a gauge; implementations with interesting internal
+     * state may add their own counters/histograms on top. Called once
+     * by the host cache during Machine construction; the registry must
+     * outlive the prefetcher (both belong to the same Machine).
+     */
+    virtual void registerMetrics(obs::MetricsRegistry &registry,
+                                 const std::string &prefix);
 
     /**
      * One-line internal-state summary for watchdog/auditor diagnostic

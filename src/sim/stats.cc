@@ -9,13 +9,80 @@ namespace berti
 namespace
 {
 
-std::uint64_t
-sub(std::uint64_t a, std::uint64_t b)
-{
-    return a >= b ? a - b : 0;
-}
+constexpr StatField<CacheStats> kCacheFields[] = {
+    {"data_reads", &CacheStats::dataReads},
+    {"data_writes", &CacheStats::dataWrites},
+    {"demand_accesses", &CacheStats::demandAccesses},
+    {"demand_hits", &CacheStats::demandHits},
+    {"demand_misses", &CacheStats::demandMisses},
+    {"demand_mshr_merged", &CacheStats::demandMshrMerged},
+    {"fill_latency_count", &CacheStats::fillLatencyCount},
+    {"fill_latency_sum", &CacheStats::fillLatencySum},
+    {"fills", &CacheStats::fills},
+    {"prefetch_cross_page", &CacheStats::prefetchCrossPage},
+    {"prefetch_dropped_full", &CacheStats::prefetchDroppedFull},
+    {"prefetch_dropped_page", &CacheStats::prefetchDroppedPage},
+    {"prefetch_dropped_tlb", &CacheStats::prefetchDroppedTlb},
+    {"prefetch_fills", &CacheStats::prefetchFills},
+    {"prefetch_issued", &CacheStats::prefetchIssued},
+    {"prefetch_late", &CacheStats::prefetchLate},
+    {"prefetch_useful", &CacheStats::prefetchUseful},
+    {"prefetch_useless", &CacheStats::prefetchUseless},
+    {"requests_below", &CacheStats::requestsBelow},
+    {"tag_reads", &CacheStats::tagReads},
+    {"tag_writes", &CacheStats::tagWrites},
+    {"writebacks", &CacheStats::writebacks},
+};
+
+constexpr StatField<DramStats> kDramFields[] = {
+    {"reads", &DramStats::reads},
+    {"row_conflicts", &DramStats::rowConflicts},
+    {"row_hits", &DramStats::rowHits},
+    {"row_misses", &DramStats::rowMisses},
+    {"writes", &DramStats::writes},
+};
+
+constexpr StatField<CoreStats> kCoreFields[] = {
+    {"branches", &CoreStats::branches},
+    {"cycles", &CoreStats::cycles},
+    {"instructions", &CoreStats::instructions},
+    {"loads", &CoreStats::loads},
+    {"mispredicts", &CoreStats::mispredicts},
+    {"stores", &CoreStats::stores},
+};
+
+constexpr StatField<TlbStats> kTlbFields[] = {
+    {"accesses", &TlbStats::accesses},
+    {"misses", &TlbStats::misses},
+    {"prefetch_probe_misses", &TlbStats::prefetchProbeMisses},
+    {"prefetch_probes", &TlbStats::prefetchProbes},
+};
 
 } // namespace
+
+std::span<const StatField<CacheStats>>
+CacheStats::fields()
+{
+    return kCacheFields;
+}
+
+std::span<const StatField<DramStats>>
+DramStats::fields()
+{
+    return kDramFields;
+}
+
+std::span<const StatField<CoreStats>>
+CoreStats::fields()
+{
+    return kCoreFields;
+}
+
+std::span<const StatField<TlbStats>>
+TlbStats::fields()
+{
+    return kTlbFields;
+}
 
 double
 CacheStats::accuracy() const
@@ -39,118 +106,39 @@ CacheStats::mpki(std::uint64_t instructions) const
 void
 CacheStats::add(const CacheStats &o)
 {
-    demandAccesses += o.demandAccesses;
-    demandHits += o.demandHits;
-    demandMisses += o.demandMisses;
-    demandMshrMerged += o.demandMshrMerged;
-    prefetchIssued += o.prefetchIssued;
-    prefetchFills += o.prefetchFills;
-    prefetchUseful += o.prefetchUseful;
-    prefetchUseless += o.prefetchUseless;
-    prefetchLate += o.prefetchLate;
-    prefetchDroppedFull += o.prefetchDroppedFull;
-    prefetchDroppedTlb += o.prefetchDroppedTlb;
-    prefetchDroppedPage += o.prefetchDroppedPage;
-    fillLatencySum += o.fillLatencySum;
-    fillLatencyCount += o.fillLatencyCount;
-    writebacks += o.writebacks;
-    fills += o.fills;
-    requestsBelow += o.requestsBelow;
-    tagReads += o.tagReads;
-    tagWrites += o.tagWrites;
-    dataReads += o.dataReads;
-    dataWrites += o.dataWrites;
+    addStatFields(*this, o);
 }
 
 void
 DramStats::add(const DramStats &o)
 {
-    reads += o.reads;
-    writes += o.writes;
-    rowHits += o.rowHits;
-    rowMisses += o.rowMisses;
-    rowConflicts += o.rowConflicts;
+    addStatFields(*this, o);
 }
 
 void
 CoreStats::add(const CoreStats &o)
 {
-    instructions += o.instructions;
-    cycles += o.cycles;
-    loads += o.loads;
-    stores += o.stores;
-    branches += o.branches;
-    mispredicts += o.mispredicts;
+    addStatFields(*this, o);
 }
 
 void
 TlbStats::add(const TlbStats &o)
 {
-    accesses += o.accesses;
-    misses += o.misses;
-    prefetchProbes += o.prefetchProbes;
-    prefetchProbeMisses += o.prefetchProbeMisses;
+    addStatFields(*this, o);
 }
-
-namespace
-{
-
-CacheStats
-diffCache(const CacheStats &a, const CacheStats &b)
-{
-    CacheStats r;
-    r.demandAccesses = sub(a.demandAccesses, b.demandAccesses);
-    r.demandHits = sub(a.demandHits, b.demandHits);
-    r.demandMisses = sub(a.demandMisses, b.demandMisses);
-    r.demandMshrMerged = sub(a.demandMshrMerged, b.demandMshrMerged);
-    r.prefetchIssued = sub(a.prefetchIssued, b.prefetchIssued);
-    r.prefetchFills = sub(a.prefetchFills, b.prefetchFills);
-    r.prefetchUseful = sub(a.prefetchUseful, b.prefetchUseful);
-    r.prefetchUseless = sub(a.prefetchUseless, b.prefetchUseless);
-    r.prefetchLate = sub(a.prefetchLate, b.prefetchLate);
-    r.prefetchDroppedFull = sub(a.prefetchDroppedFull, b.prefetchDroppedFull);
-    r.prefetchDroppedTlb = sub(a.prefetchDroppedTlb, b.prefetchDroppedTlb);
-    r.prefetchDroppedPage = sub(a.prefetchDroppedPage, b.prefetchDroppedPage);
-    r.fillLatencySum = sub(a.fillLatencySum, b.fillLatencySum);
-    r.fillLatencyCount = sub(a.fillLatencyCount, b.fillLatencyCount);
-    r.writebacks = sub(a.writebacks, b.writebacks);
-    r.fills = sub(a.fills, b.fills);
-    r.requestsBelow = sub(a.requestsBelow, b.requestsBelow);
-    r.tagReads = sub(a.tagReads, b.tagReads);
-    r.tagWrites = sub(a.tagWrites, b.tagWrites);
-    r.dataReads = sub(a.dataReads, b.dataReads);
-    r.dataWrites = sub(a.dataWrites, b.dataWrites);
-    return r;
-}
-
-} // namespace
 
 RunStats
 RunStats::diff(const RunStats &e) const
 {
     RunStats r;
-    r.core.instructions = sub(core.instructions, e.core.instructions);
-    r.core.cycles = sub(core.cycles, e.core.cycles);
-    r.core.loads = sub(core.loads, e.core.loads);
-    r.core.stores = sub(core.stores, e.core.stores);
-    r.core.branches = sub(core.branches, e.core.branches);
-    r.core.mispredicts = sub(core.mispredicts, e.core.mispredicts);
-    r.l1i = diffCache(l1i, e.l1i);
-    r.l1d = diffCache(l1d, e.l1d);
-    r.l2 = diffCache(l2, e.l2);
-    r.llc = diffCache(llc, e.llc);
-    r.dtlb.accesses = sub(dtlb.accesses, e.dtlb.accesses);
-    r.dtlb.misses = sub(dtlb.misses, e.dtlb.misses);
-    r.stlb.accesses = sub(stlb.accesses, e.stlb.accesses);
-    r.stlb.misses = sub(stlb.misses, e.stlb.misses);
-    r.stlb.prefetchProbes = sub(stlb.prefetchProbes, e.stlb.prefetchProbes);
-    r.stlb.prefetchProbeMisses =
-        sub(stlb.prefetchProbeMisses, e.stlb.prefetchProbeMisses);
-    r.dram.reads = sub(dram.reads, e.dram.reads);
-    r.dram.writes = sub(dram.writes, e.dram.writes);
-    r.dram.rowHits = sub(dram.rowHits, e.dram.rowHits);
-    r.dram.rowMisses = sub(dram.rowMisses, e.dram.rowMisses);
-    r.dram.rowConflicts = sub(dram.rowConflicts, e.dram.rowConflicts);
+    r.core = diffStatFields(core, e.core);
+    r.l1i = diffStatFields(l1i, e.l1i);
+    r.l1d = diffStatFields(l1d, e.l1d);
+    r.l2 = diffStatFields(l2, e.l2);
+    r.llc = diffStatFields(llc, e.llc);
+    r.dtlb = diffStatFields(dtlb, e.dtlb);
+    r.stlb = diffStatFields(stlb, e.stlb);
+    r.dram = diffStatFields(dram, e.dram);
     return r;
 }
 

@@ -3,18 +3,35 @@
  * Plain counter structs gathered by each component during simulation plus
  * the derived metrics (IPC, MPKI, accuracy, coverage, traffic) the paper
  * reports. Counters are POD so copying a snapshot is trivial.
+ *
+ * Every struct publishes a static field table (stable snake_case metric
+ * name -> member pointer). The table is the single source of truth: it
+ * drives add()/diff() here, and the obs layer walks it to register live
+ * counters into a MetricsRegistry and to build exportable snapshots, so
+ * the exported schema can never drift from the structs.
  */
 
 #ifndef BERTI_SIM_STATS_HH
 #define BERTI_SIM_STATS_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <type_traits>
+#include <utility>
 
 #include "sim/types.hh"
 
 namespace berti
 {
+
+/** One named counter of a stats struct S. */
+template <typename S>
+struct StatField
+{
+    const char *name;            //!< stable snake_case schema name
+    std::uint64_t S::*member;
+};
 
 /** Counters maintained by one cache level. */
 struct CacheStats
@@ -32,6 +49,8 @@ struct CacheStats
     std::uint64_t prefetchDroppedFull = 0;  //!< PQ/MSHR full
     std::uint64_t prefetchDroppedTlb = 0;   //!< STLB miss on translation
     std::uint64_t prefetchDroppedPage = 0;  //!< cross-page at phys level
+    std::uint64_t prefetchCrossPage = 0;    //!< issued into another page
+                                            //!< than the triggering access
 
     std::uint64_t writebacks = 0;      //!< dirty evictions sent below
     std::uint64_t fills = 0;           //!< all line installs
@@ -44,6 +63,8 @@ struct CacheStats
     std::uint64_t tagWrites = 0;
     std::uint64_t dataReads = 0;
     std::uint64_t dataWrites = 0;
+
+    static std::span<const StatField<CacheStats>> fields();
 
     /** Timely useful prefetches (hit a prefetched, already filled line). */
     std::uint64_t
@@ -83,6 +104,8 @@ struct DramStats
     std::uint64_t rowMisses = 0;
     std::uint64_t rowConflicts = 0;
 
+    static std::span<const StatField<DramStats>> fields();
+
     void add(const DramStats &other);
 };
 
@@ -95,6 +118,8 @@ struct CoreStats
     std::uint64_t stores = 0;
     std::uint64_t branches = 0;
     std::uint64_t mispredicts = 0;
+
+    static std::span<const StatField<CoreStats>> fields();
 
     double
     ipc() const
@@ -113,8 +138,42 @@ struct TlbStats
     std::uint64_t prefetchProbes = 0;
     std::uint64_t prefetchProbeMisses = 0;
 
+    static std::span<const StatField<TlbStats>> fields();
+
     void add(const TlbStats &other);
 };
+
+/** Invoke fn(name, counter_ref) for every field of a stats struct. */
+template <typename S, typename Fn>
+void
+forEachStatField(S &s, Fn &&fn)
+{
+    for (const auto &f : std::remove_const_t<S>::fields())
+        fn(f.name, s.*(f.member));
+}
+
+/** dst += src, field table driven. */
+template <typename S>
+void
+addStatFields(S &dst, const S &src)
+{
+    for (const auto &f : S::fields())
+        dst.*(f.member) += src.*(f.member);
+}
+
+/** Saturating component-wise a - b, field table driven. */
+template <typename S>
+S
+diffStatFields(const S &a, const S &b)
+{
+    S r;
+    for (const auto &f : S::fields()) {
+        std::uint64_t lhs = a.*(f.member);
+        std::uint64_t rhs = b.*(f.member);
+        r.*(f.member) = lhs >= rhs ? lhs - rhs : 0;
+    }
+    return r;
+}
 
 /**
  * Full snapshot of one simulated run of one core (plus the shared levels
@@ -141,6 +200,42 @@ struct RunStats
     /** Render a compact human-readable summary. */
     std::string summary() const;
 };
+
+/**
+ * Invoke fn(component_prefix, component_stats) for each component of a
+ * RunStats, using the canonical schema prefixes ("core.", "l1i.",
+ * "l1d.", "l2.", "llc.", "dtlb.", "stlb.", "dram."). Self may be const
+ * or mutable.
+ */
+template <typename Self, typename Fn>
+void
+visitRunStatsComponents(Self &s, Fn &&fn)
+{
+    fn("core.", s.core);
+    fn("dram.", s.dram);
+    fn("dtlb.", s.dtlb);
+    fn("l1d.", s.l1d);
+    fn("l1i.", s.l1i);
+    fn("l2.", s.l2);
+    fn("llc.", s.llc);
+    fn("stlb.", s.stlb);
+}
+
+/**
+ * Invoke fn(full_name, counter_ref) for every counter of a RunStats,
+ * names prefixed per component ("l1d.demand_misses", ...).
+ */
+template <typename Self, typename Fn>
+void
+visitRunStatsCounters(Self &s, Fn &&fn)
+{
+    visitRunStatsComponents(s, [&fn](const char *prefix, auto &component) {
+        forEachStatField(component,
+                         [&fn, prefix](const char *name, auto &value) {
+                             fn(std::string(prefix) + name, value);
+                         });
+    });
+}
 
 /** Geometric mean of a range of positive speedups. */
 double geomean(const double *values, std::size_t count);

@@ -1,5 +1,7 @@
 #include "vm/tlb.hh"
 
+#include "obs/metrics.hh"
+
 namespace berti
 {
 
@@ -82,6 +84,25 @@ TranslationUnit::prefetchTranslate(Addr vaddr, Addr &paddr)
     }
     paddr = pt.translate(vaddr);
     return true;
+}
+
+void
+Tlb::registerMetrics(obs::MetricsRegistry &registry,
+                     const std::string &prefix)
+{
+    forEachStatField(stats,
+                     [&](const char *name, std::uint64_t &cell) {
+                         registry.counter(prefix + name, &cell);
+                     });
+}
+
+void
+TranslationUnit::registerMetrics(obs::MetricsRegistry &registry,
+                                 const std::string &dtlb_prefix,
+                                 const std::string &stlb_prefix)
+{
+    l1.registerMetrics(registry, dtlb_prefix);
+    l2.registerMetrics(registry, stlb_prefix);
 }
 
 } // namespace berti

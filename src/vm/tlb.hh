@@ -19,6 +19,11 @@
 namespace berti
 {
 
+namespace obs
+{
+class MetricsRegistry;
+} // namespace obs
+
 namespace verify
 {
 class SimAuditor;
@@ -39,6 +44,10 @@ class Tlb
     void fill(Addr vpage);
 
     Cycle latency() const { return lat; }
+
+    /** Register this level's counters into the registry. */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &prefix);
 
     TlbStats stats;
 
@@ -99,6 +108,14 @@ class TranslationUnit
 
     TlbStats dtlbStats() const { return l1.stats; }
     TlbStats stlbStats() const { return l2.stats; }
+
+    /**
+     * Register both TLB levels' counters (under the two prefixes, e.g.
+     * "c0.dtlb." / "c0.stlb."). Called once at Machine construction.
+     */
+    void registerMetrics(obs::MetricsRegistry &registry,
+                         const std::string &dtlb_prefix,
+                         const std::string &stlb_prefix);
 
   private:
     Tlb l1;

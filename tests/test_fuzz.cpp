@@ -9,9 +9,14 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "harness/experiment.hh"
 #include "harness/machine.hh"
 #include "mem/cache.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
 #include "sim/rng.hh"
 #include "trace/generators.hh"
 #include "trace/trace_io.hh"
@@ -362,5 +367,120 @@ TEST(WatchdogFuzz, WedgedMshrFailsWithDiagnosticInsteadOfHanging)
     }
     EXPECT_GE(inj.stats().dramLostReads, 1u);
 }
+
+// --------------------------------------------------------------------
+// Observability properties: randomised histograms must merge
+// associatively and report monotone percentiles; a randomly driven
+// interval ring must retain exactly the newest samples.
+// --------------------------------------------------------------------
+
+class ObsFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ObsFuzz, HistogramMergeIsAssociativeAndLossless)
+{
+    Rng rng(GetParam());
+    bool linear = rng.nextBool(0.5);
+    auto make = [linear] {
+        return linear ? obs::Histogram::linear(17, 21)
+                      : obs::Histogram::log2();
+    };
+    obs::Histogram parts[3] = {make(), make(), make()};
+    obs::Histogram whole = make();
+    std::uint64_t values = 200 + rng.nextBounded(800);
+    for (std::uint64_t i = 0; i < values; ++i) {
+        std::uint64_t v = rng.next() >> (rng.nextBounded(64));
+        std::uint64_t w = 1 + rng.nextBounded(3);
+        parts[rng.nextBounded(3)].record(v, w);
+        whole.record(v, w);
+    }
+
+    // (a + b) + c  ==  a + (b + c)  ==  everything recorded into one.
+    obs::Histogram left = make();
+    left.merge(parts[0]);
+    left.merge(parts[1]);
+    left.merge(parts[2]);
+    obs::Histogram bc = make();
+    bc.merge(parts[1]);
+    bc.merge(parts[2]);
+    obs::Histogram right = make();
+    right.merge(parts[0]);
+    right.merge(bc);
+    for (const obs::Histogram *h : {&left, &right}) {
+        EXPECT_EQ(h->count(), whole.count());
+        EXPECT_EQ(h->sum(), whole.sum());
+        EXPECT_EQ(h->min(), whole.min());
+        EXPECT_EQ(h->max(), whole.max());
+        for (unsigned i = 0; i < whole.bucketCount(); ++i)
+            EXPECT_EQ(h->bucketWeight(i), whole.bucketWeight(i)) << i;
+    }
+
+    // Percentiles are monotone in p and clamped to the observed range.
+    std::uint64_t prev = 0;
+    for (double p = 0.0; p <= 1.0; p += 1.0 / 64) {
+        std::uint64_t q = whole.percentile(p);
+        EXPECT_GE(q, prev);
+        EXPECT_GE(q, whole.min());
+        EXPECT_LE(q, whole.max());
+        prev = q;
+    }
+}
+
+TEST_P(ObsFuzz, IntervalRingRetainsExactlyTheNewestSamples)
+{
+    Rng rng(GetParam() ^ 0xABCDEF);
+    std::size_t cap = 1 + rng.nextBounded(32);
+    std::size_t cols = 1 + rng.nextBounded(5);
+    obs::IntervalSeries ring(
+        std::vector<std::string>(cols, "c"), cap);
+
+    std::vector<std::vector<std::uint64_t>> history;
+    std::uint64_t appends = rng.nextBounded(4 * cap + 1);
+    for (std::uint64_t i = 0; i < appends; ++i) {
+        std::vector<std::uint64_t> row(cols);
+        for (auto &v : row)
+            v = rng.next();
+        ring.append(i, 2 * i, row);
+        history.push_back(std::move(row));
+    }
+
+    std::size_t expect_held = std::min<std::size_t>(cap, history.size());
+    ASSERT_EQ(ring.size(), expect_held);
+    EXPECT_EQ(ring.dropped(), history.size() - expect_held);
+    EXPECT_EQ(ring.totalAppends(), history.size());
+    for (std::size_t i = 0; i < expect_held; ++i) {
+        std::size_t src = history.size() - expect_held + i;
+        obs::IntervalSeries::Sample s = ring.sample(i);
+        EXPECT_EQ(s.instructions, src);
+        for (std::size_t c = 0; c < cols; ++c)
+            EXPECT_EQ(s.values[c], history[src][c]) << i << "," << c;
+    }
+}
+
+TEST_P(ObsFuzz, SnapshotJsonRoundTripsArbitraryValues)
+{
+    Rng rng(GetParam() ^ 0x5EED);
+    obs::MetricsSnapshot snap;
+    unsigned metrics = 1 + rng.nextBounded(40);
+    for (unsigned i = 0; i < metrics; ++i) {
+        std::string name = "m" + std::to_string(rng.nextBounded(1000)) +
+                           "." + std::to_string(i);
+        if (rng.nextBool(0.5)) {
+            snap.setCounter(name, rng.next());
+        } else {
+            double v = static_cast<double>(rng.next()) /
+                       static_cast<double>(1 + rng.nextBounded(1 << 20));
+            snap.setGauge(name, rng.nextBool(0.1) ? -v : v);
+        }
+    }
+    std::string json = obs::toJson(snap);
+    obs::MetricsSnapshot back = obs::snapshotFromJson(json, "fuzz");
+    EXPECT_TRUE(snap == back);
+    EXPECT_EQ(json, obs::toJson(back));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ObsFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
 } // namespace berti

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Golden-stats regression harness: replays a small fixed workload x
+ * spec matrix, exports each cell through the stable JSON schema and
+ * byte-compares against the checked-in goldens under tests/goldens/.
+ * Any counter drift — an off-by-one in a prefetcher, a reordered stat,
+ * an accidental double count — fails with a readable field-level diff.
+ *
+ * Regenerate the goldens after an *intentional* behaviour change with
+ *     tools/update_goldens.sh
+ * (or BERTI_UPDATE_GOLDENS=1 ctest -R test_golden) and commit the
+ * resulting JSON files together with the change that justified them.
+ */
+
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "obs/export.hh"
+#include "trace/registry.hh"
+#include "verify/sim_error.hh"
+
+#ifndef BERTI_GOLDEN_DIR
+#error "BERTI_GOLDEN_DIR must point at the checked-in goldens"
+#endif
+
+namespace berti
+{
+namespace
+{
+
+/** The pinned matrix. Small enough to run in seconds, wide enough to
+ *  cover the no-prefetch baseline and the paper's prefetcher. */
+const std::vector<std::string> kWorkloads = {"mcf-like.472",
+                                             "bwaves-like.2609"};
+const std::vector<std::string> kSpecs = {"none", "berti"};
+
+/** Pinned ROI; never derived from env so goldens cannot drift with
+ *  BERTI_BENCH_QUICK or similar knobs. */
+SimParams
+goldenParams()
+{
+    SimParams p;
+    p.warmupInstructions = 5000;
+    p.measureInstructions = 20000;
+    return p;
+}
+
+std::string
+goldenPath(const std::string &workload, const std::string &spec)
+{
+    return std::string(BERTI_GOLDEN_DIR) + "/" + workload + "__" + spec +
+           ".json";
+}
+
+bool
+updateMode()
+{
+    const char *v = std::getenv("BERTI_UPDATE_GOLDENS");
+    return v && v[0] == '1';
+}
+
+class GoldenTest : public ::testing::TestWithParam<
+                       std::tuple<std::string, std::string>>
+{};
+
+TEST_P(GoldenTest, MatchesCheckedInStats)
+{
+    const auto &[workload, spec] = GetParam();
+    SimResult r =
+        simulate(findWorkload(workload), makeSpec(spec), goldenParams());
+    std::string actual_json = obs::toJson(resultSnapshot(r));
+    std::string path = goldenPath(workload, spec);
+
+    if (updateMode()) {
+        obs::writeFile(path, actual_json);
+        GTEST_SKIP() << "updated golden " << path;
+    }
+
+    std::string expected_json;
+    try {
+        expected_json = obs::readFile(path);
+    } catch (const verify::SimError &) {
+        FAIL() << "missing golden " << path
+               << " — run tools/update_goldens.sh and commit the result";
+    }
+
+    if (expected_json == actual_json)
+        return;  // bit-identical, the common case
+
+    // Not identical: produce a field-level diff instead of two JSON
+    // blobs, so the failing counter is named directly.
+    obs::MetricsSnapshot expected =
+        obs::snapshotFromJson(expected_json, path);
+    obs::MetricsSnapshot actual =
+        obs::snapshotFromJson(actual_json, "simulated");
+    auto diffs = obs::diffSnapshots(expected, actual);
+    ASSERT_FALSE(diffs.empty())
+        << "golden " << path
+        << " differs only in formatting — regenerate it with "
+           "tools/update_goldens.sh";
+    FAIL() << workload << " x " << spec << ": " << diffs.size()
+           << " field(s) drifted from " << path << "\n"
+           << obs::formatDiff(diffs);
+}
+
+std::vector<std::tuple<std::string, std::string>>
+goldenMatrix()
+{
+    std::vector<std::tuple<std::string, std::string>> cells;
+    for (const auto &w : kWorkloads)
+        for (const auto &s : kSpecs)
+            cells.emplace_back(w, s);
+    return cells;
+}
+
+std::string
+cellName(const ::testing::TestParamInfo<
+         std::tuple<std::string, std::string>> &info)
+{
+    std::string n = std::get<0>(info.param) + "_" +
+                    std::get<1>(info.param);
+    for (char &c : n) {
+        if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9')))
+            c = '_';
+    }
+    return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, GoldenTest,
+                         ::testing::ValuesIn(goldenMatrix()), cellName);
+
+/** The golden schema itself is pinned: parsing a golden back must give
+ *  the same document, so future schema bumps are deliberate. */
+TEST(GoldenSchema, GoldensRoundTripAtCurrentVersion)
+{
+    if (updateMode())
+        GTEST_SKIP() << "goldens being regenerated";
+    for (const auto &w : kWorkloads) {
+        for (const auto &s : kSpecs) {
+            std::string path = goldenPath(w, s);
+            std::string text;
+            try {
+                text = obs::readFile(path);
+            } catch (const verify::SimError &) {
+                FAIL() << "missing golden " << path;
+            }
+            obs::MetricsSnapshot snap = obs::snapshotFromJson(text, path);
+            EXPECT_EQ(obs::toJson(snap), text) << path;
+            EXPECT_GT(snap.size(), 50u) << path;
+        }
+    }
+}
+
+} // namespace
+} // namespace berti

@@ -1,11 +1,32 @@
-/** @file Unit tests for the statistics structs and derived metrics. */
+/** @file Unit tests for the statistics structs and derived metrics,
+ *  asserted through the observability layer: counters are read back via
+ *  registry snapshots so the stat structs, their field tables and the
+ *  exported names are all exercised by the same expectations. */
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hh"
 #include "sim/stats.hh"
 
 namespace berti
 {
+
+namespace
+{
+
+/** Snapshot one stats struct through a registry, as a Machine would. */
+template <typename S>
+obs::MetricsSnapshot
+snapshotVia(S &stats, const std::string &prefix)
+{
+    obs::MetricsRegistry reg;
+    forEachStatField(stats, [&](const char *name, std::uint64_t &cell) {
+        reg.counter(prefix + name, &cell);
+    });
+    return reg.snapshot();
+}
+
+} // namespace
 
 TEST(CacheStats, AccuracyDefinition)
 {
@@ -51,16 +72,37 @@ TEST(CacheStats, AvgFillLatency)
 
 TEST(CacheStats, AddAccumulatesEveryField)
 {
+    // Drive every field through the shared table, so a field added to
+    // CacheStats but missed by add() cannot slip through.
     CacheStats a, b;
-    a.demandAccesses = 1;
-    a.prefetchIssued = 2;
-    b.demandAccesses = 10;
-    b.prefetchIssued = 20;
-    b.writebacks = 5;
+    std::uint64_t seed = 1;
+    forEachStatField(b, [&seed](const char *, std::uint64_t &cell) {
+        cell = seed++;
+    });
+    a.demandAccesses = 100;
     a.add(b);
-    EXPECT_EQ(a.demandAccesses, 11u);
-    EXPECT_EQ(a.prefetchIssued, 22u);
-    EXPECT_EQ(a.writebacks, 5u);
+    obs::MetricsSnapshot sum = snapshotVia(a, "l1d.");
+    EXPECT_EQ(sum.counter("l1d.demand_accesses"),
+              100u + b.demandAccesses);
+    std::uint64_t expect = 1;
+    forEachStatField(b, [&](const char *name, std::uint64_t &) {
+        if (std::string(name) != "demand_accesses") {
+            EXPECT_EQ(sum.counter("l1d." + std::string(name)), expect)
+                << name;
+        }
+        ++expect;
+    });
+}
+
+TEST(CacheStats, FieldTableMatchesRegistryNames)
+{
+    CacheStats s;
+    s.demandMisses = 3;
+    s.prefetchCrossPage = 4;
+    obs::MetricsSnapshot snap = snapshotVia(s, "l2.");
+    EXPECT_EQ(snap.counter("l2.demand_misses"), 3u);
+    EXPECT_EQ(snap.counter("l2.prefetch_cross_page"), 4u);
+    EXPECT_EQ(snap.size(), CacheStats::fields().size());
 }
 
 TEST(RunStats, DiffIsComponentWise)
@@ -73,10 +115,18 @@ TEST(RunStats, DiffIsComponentWise)
     end.l1d.demandMisses = 50;
     start.l1d.demandMisses = 20;
     RunStats roi = end.diff(start);
-    EXPECT_EQ(roi.core.instructions, 200u);
-    EXPECT_EQ(roi.core.cycles, 600u);
-    EXPECT_EQ(roi.l1d.demandMisses, 30u);
-    EXPECT_DOUBLE_EQ(roi.core.ipc(), 200.0 / 600.0);
+    // Assert through the registry view, prefixed like a Machine does.
+    obs::MetricsRegistry reg;
+    visitRunStatsCounters(
+        roi, [&reg](const std::string &name, std::uint64_t &cell) {
+            reg.counter(name, &cell);
+        });
+    reg.gauge("core.ipc", [&roi] { return roi.core.ipc(); });
+    obs::MetricsSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("core.instructions"), 200u);
+    EXPECT_EQ(snap.counter("core.cycles"), 600u);
+    EXPECT_EQ(snap.counter("l1d.demand_misses"), 30u);
+    EXPECT_DOUBLE_EQ(snap.gauge("core.ipc"), 200.0 / 600.0);
 }
 
 TEST(RunStats, DiffSaturatesAtZero)
