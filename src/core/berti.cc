@@ -234,16 +234,19 @@ BertiPrefetcher::closePhase(DeltaEntry &entry)
     ++phaseCompletions;
 
     // Coverage fraction per delta over the phase, most covered first so
-    // the maxSelectedDeltas bound keeps the best ones.
+    // the maxSelectedDeltas bound keeps the best ones. Stable so equal
+    // coverages rank in slot order, like a hardware priority encoder —
+    // an unstable tie-break would make the selected set depend on the
+    // standard library.
     std::vector<DeltaSlot *> order;
     for (auto &s : entry.slots) {
         if (s.valid)
             order.push_back(&s);
     }
-    std::sort(order.begin(), order.end(),
-              [](const DeltaSlot *a, const DeltaSlot *b) {
-                  return a->coverage > b->coverage;
-              });
+    std::stable_sort(order.begin(), order.end(),
+                     [](const DeltaSlot *a, const DeltaSlot *b) {
+                         return a->coverage > b->coverage;
+                     });
 
     unsigned selected = 0;
     double phase = static_cast<double>(cfg.phaseLength);

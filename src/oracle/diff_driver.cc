@@ -1,0 +1,417 @@
+#include "oracle/diff_driver.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "verify/auditor.hh"
+#include "verify/sim_error.hh"
+
+namespace berti::oracle
+{
+
+namespace
+{
+
+/** Counts completions of the demand reads the driver submits. */
+class CollectingClient : public ReadClient
+{
+  public:
+    void readDone(const MemRequest &) override { ++completed; }
+    std::uint64_t completed = 0;
+};
+
+CacheConfig
+levelConfig(const char *name, unsigned level, unsigned sets,
+            unsigned ways, Cycle latency)
+{
+    CacheConfig c;
+    c.name = name;
+    c.level = level;
+    c.sets = sets;
+    c.ways = ways;
+    c.latency = latency;
+    c.repl = ReplKind::Lru;  // the oracle models exact LRU only
+    c.mshrs = 8;
+    c.rqSize = 16;
+    c.wqSize = 16;
+    c.pqSize = 8;
+    return c;
+}
+
+/** The serialized cycle-side hierarchy. */
+struct SimHierarchy
+{
+    explicit SimHierarchy(const DiffConfig &cfg)
+        : mem(&clock, cfg.memLatency),
+          llc(levelConfig("diff-llc", 3, cfg.llcSets, cfg.llcWays, 6),
+              &clock),
+          l2(levelConfig("diff-l2", 2, cfg.l2Sets, cfg.l2Ways, 4),
+             &clock),
+          l1(levelConfig("diff-l1d", 1, cfg.l1Sets, cfg.l1Ways, 2),
+             &clock)
+    {
+        llc.setLower(&mem);
+        l2.setLower(&llc);
+        l1.setLower(&l2);
+    }
+
+    void
+    tickOnce()
+    {
+        // Machine order: memory responds first, then LLC -> L2 -> L1 so
+        // responses propagate upward within the cycle.
+        ++clock;
+        mem.tick();
+        llc.tick();
+        l2.tick();
+        l1.tick();
+    }
+
+    bool
+    drained() const
+    {
+        return mem.idle() && l1.mshrsInUse() == 0 &&
+               l2.mshrsInUse() == 0 && llc.mshrsInUse() == 0 &&
+               l1.rqOccupancy() == 0 && l2.rqOccupancy() == 0 &&
+               llc.rqOccupancy() == 0 && l1.wqOccupancy() == 0 &&
+               l2.wqOccupancy() == 0 && llc.wqOccupancy() == 0;
+    }
+
+    Cycle clock = 0;
+    BackingMemory mem;
+    Cache llc;
+    Cache l2;
+    Cache l1;
+};
+
+/** First mismatching functional counter between one sim level and its
+ *  reference, or empty when they agree. */
+std::string
+compareLevel(const char *name, const Cache &sim, const RefCache &ref)
+{
+    struct Pair
+    {
+        const char *field;
+        std::uint64_t simv;
+        std::uint64_t refv;
+    };
+    const Pair pairs[] = {
+        {"demand_accesses", sim.stats.demandAccesses, ref.demandAccesses},
+        {"demand_hits", sim.stats.demandHits, ref.demandHits},
+        {"demand_misses", sim.stats.demandMisses, ref.demandMisses},
+        {"mshr_merged", sim.stats.demandMshrMerged, 0},
+        {"writebacks", sim.stats.writebacks, ref.writebacksOut},
+        {"fills", sim.stats.fills, ref.fills},
+    };
+    for (const Pair &p : pairs) {
+        if (p.simv != p.refv) {
+            std::ostringstream os;
+            os << name << "." << p.field << ": sim " << p.simv
+               << " vs oracle " << p.refv;
+            return os.str();
+        }
+    }
+    return {};
+}
+
+std::string
+compareAllLevels(const SimHierarchy &sim, const RefHierarchy &ref)
+{
+    std::string m = compareLevel("l1d", sim.l1, ref.l1());
+    if (m.empty())
+        m = compareLevel("l2", sim.l2, ref.l2());
+    if (m.empty())
+        m = compareLevel("llc", sim.llc, ref.llc());
+    return m;
+}
+
+} // namespace
+
+RefHierarchyConfig
+DiffConfig::refConfig() const
+{
+    RefHierarchyConfig rc;
+    rc.l1 = {"ref-l1d", l1Sets, l1Ways};
+    rc.l2 = {"ref-l2", l2Sets, l2Ways};
+    rc.llc = {"ref-llc", llcSets, llcWays};
+    return rc;
+}
+
+DiffResult
+runSerializedDiff(const MicroTrace &trace, const DiffConfig &cfg)
+{
+    SimHierarchy sim(cfg);
+    RefHierarchy ref(cfg.refConfig());
+    ref.l1().setPerturbation(cfg.perturbation);
+    CollectingClient client;
+
+    auto fail = [](std::size_t op, std::string msg) {
+        DiffResult r;
+        r.diverged = true;
+        r.opIndex = op;
+        r.message = std::move(msg);
+        return r;
+    };
+
+    constexpr Cycle kOpCycleGuard = 100000;
+    std::set<Addr> touched;
+
+    for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+        const MicroOp &op = trace.ops[i];
+        touched.insert(op.line);
+
+        if (op.kind == MicroOpKind::Writeback) {
+            sim.l1.submitWriteback(op.line);
+            ref.demandWriteback(op.line);
+        } else {
+            MemRequest req;
+            req.vLine = op.line;
+            req.pLine = op.line;
+            req.ip = op.ip;
+            req.type = op.kind == MicroOpKind::Rfo ? AccessType::Rfo
+                                                   : AccessType::Load;
+            req.client = &client;
+            std::uint64_t before = client.completed;
+            if (!sim.l1.submitRead(req))
+                return fail(i, "serialized submitRead refused");
+            Cycle guard = 0;
+            while (client.completed == before) {
+                sim.tickOnce();
+                if (++guard > kOpCycleGuard)
+                    return fail(i, "demand access never completed");
+            }
+            ref.demandAccess(op.line,
+                             op.kind == MicroOpKind::Rfo);
+        }
+
+        // Run the machine idle so every victim writeback and
+        // write-allocate lands before the next op (the serialization
+        // that makes untimed agreement exact).
+        Cycle guard = 0;
+        while (!sim.drained()) {
+            sim.tickOnce();
+            if (++guard > kOpCycleGuard)
+                return fail(i, "hierarchy never drained after op");
+        }
+
+        std::string mismatch = compareAllLevels(sim, ref);
+        if (!mismatch.empty())
+            return fail(i, "stats diverged after op: " + mismatch);
+    }
+
+    // Final-state comparison: contents + dirty bits over every line the
+    // trace could have made resident, and the backing writeback order.
+    for (Addr line : touched) {
+        struct LevelPair
+        {
+            const char *name;
+            const Cache *sim;
+            const RefCache *ref;
+        };
+        const LevelPair levels[] = {
+            {"l1d", &sim.l1, &ref.l1()},
+            {"l2", &sim.l2, &ref.l2()},
+            {"llc", &sim.llc, &ref.llc()},
+        };
+        for (const LevelPair &lv : levels) {
+            bool sim_has = lv.sim->probe(line);
+            bool ref_has = lv.ref->contains(line);
+            if (sim_has != ref_has) {
+                std::ostringstream os;
+                os << lv.name << " contents diverged for line 0x"
+                   << std::hex << line << ": sim " << (sim_has ? "has" : "lacks")
+                   << " it, oracle " << (ref_has ? "has" : "lacks") << " it";
+                return fail(trace.ops.size(), os.str());
+            }
+            if (sim_has &&
+                lv.sim->probeDirty(line) != lv.ref->isDirty(line)) {
+                std::ostringstream os;
+                os << lv.name << " dirty bit diverged for line 0x"
+                   << std::hex << line;
+                return fail(trace.ops.size(), os.str());
+            }
+        }
+    }
+
+    if (sim.mem.writebacks != ref.memoryWritebacks()) {
+        std::ostringstream os;
+        os << "backing writeback sequence diverged: sim "
+           << sim.mem.writebacks.size() << " lines vs oracle "
+           << ref.memoryWritebacks().size();
+        return fail(trace.ops.size(), os.str());
+    }
+    if (sim.mem.reads != ref.memoryReads) {
+        std::ostringstream os;
+        os << "backing reads diverged: sim " << sim.mem.reads
+           << " vs oracle " << ref.memoryReads;
+        return fail(trace.ops.size(), os.str());
+    }
+
+    return {};
+}
+
+SerializedRunStats
+runSerializedWithPrefetchers(const MicroTrace &trace,
+                             const DiffConfig &cfg,
+                             std::unique_ptr<Prefetcher> l1_pf,
+                             std::unique_ptr<Prefetcher> l2_pf)
+{
+    SerializedRunStats out;
+    SimHierarchy sim(cfg);
+    if (l1_pf)
+        sim.l1.setPrefetcher(std::move(l1_pf));
+    if (l2_pf)
+        sim.l2.setPrefetcher(std::move(l2_pf));
+    CollectingClient client;
+
+    auto wedge = [&](const char *msg) {
+        out.wedged = true;
+        out.message = msg;
+    };
+
+    constexpr Cycle kOpCycleGuard = 100000;
+    // A prefetcher may legally keep queues busy indefinitely, so after
+    // each op the hierarchy gets a bounded settle window instead of the
+    // strict drain the oracle comparison requires.
+    constexpr Cycle kSettleWindow = 600;
+
+    for (const MicroOp &op : trace.ops) {
+        if (op.kind == MicroOpKind::Writeback) {
+            sim.l1.submitWriteback(op.line);
+        } else {
+            MemRequest req;
+            req.vLine = op.line;
+            req.pLine = op.line;
+            req.ip = op.ip;
+            req.type = op.kind == MicroOpKind::Rfo ? AccessType::Rfo
+                                                   : AccessType::Load;
+            req.client = &client;
+            ++out.demandOps;
+            std::uint64_t before = client.completed;
+            Cycle guard = 0;
+            while (!sim.l1.submitRead(req)) {
+                sim.tickOnce();
+                if (++guard > kOpCycleGuard) {
+                    wedge("read queue never accepted demand");
+                    return out;
+                }
+            }
+            guard = 0;
+            while (client.completed == before) {
+                sim.tickOnce();
+                if (++guard > kOpCycleGuard) {
+                    wedge("demand access never completed");
+                    return out;
+                }
+            }
+        }
+        for (Cycle c = 0; c < kSettleWindow && !sim.drained(); ++c)
+            sim.tickOnce();
+    }
+
+    Cycle guard = 0;
+    while (!sim.drained()) {
+        sim.tickOnce();
+        if (++guard > kOpCycleGuard)
+            break;  // a still-busy prefetch queue is not a failure
+    }
+
+    out.l1 = sim.l1.stats;
+    out.l2 = sim.l2.stats;
+    out.llc = sim.llc.stats;
+    out.completed = client.completed;
+    return out;
+}
+
+ConcurrentResult
+runConcurrent(const MicroTrace &trace, const DiffConfig &cfg)
+{
+    ConcurrentResult result;
+    Cycle clock = 0;
+    BackingMemory mem(&clock, cfg.memLatency);
+    Cache cache(levelConfig("race-l1d", 1, cfg.l1Sets, cfg.l1Ways, 2),
+                &clock);
+    cache.setLower(&mem);
+
+    verify::AuditConfig acfg;
+    acfg.enabled = true;
+    acfg.interval = 1;  // every cycle: races checked at full resolution
+    verify::SimAuditor audit(acfg, &clock);
+    audit.attach(&cache);
+
+    CollectingClient client;
+    std::uint64_t demand_ops = 0;
+
+    auto tick_once = [&] {
+        ++clock;
+        mem.tick();
+        cache.tick();
+        audit.tick();
+    };
+
+    try {
+        for (const MicroOp &op : trace.ops) {
+            for (unsigned g = 0; g < op.gap; ++g)
+                tick_once();
+            if (op.kind == MicroOpKind::Writeback) {
+                cache.submitWriteback(op.line);
+                continue;
+            }
+            MemRequest req;
+            req.vLine = op.line;
+            req.pLine = op.line;
+            req.ip = op.ip;
+            req.type = op.kind == MicroOpKind::Rfo ? AccessType::Rfo
+                                                   : AccessType::Load;
+            req.client = &client;
+            ++demand_ops;
+            Cycle guard = 0;
+            while (!cache.submitRead(req)) {
+                tick_once();
+                if (++guard > 100000)
+                    throw verify::SimError(verify::ErrorKind::Watchdog,
+                                           "race-driver",
+                                           "read queue never drained");
+            }
+        }
+
+        Cycle guard = 0;
+        while (!mem.idle() || cache.mshrsInUse() != 0 ||
+               cache.rqOccupancy() != 0 || cache.wqOccupancy() != 0) {
+            tick_once();
+            if (++guard > 200000)
+                throw verify::SimError(verify::ErrorKind::Watchdog,
+                                       "race-driver",
+                                       "cache never drained after trace");
+        }
+        audit.checkNow();
+    } catch (const verify::SimError &e) {
+        result.failed = true;
+        result.message = e.what();
+        if (!e.diagnostic().empty())
+            result.message += "\n" + e.diagnostic();
+        return result;
+    }
+
+    const CacheStats &s = cache.stats;
+    result.demandAccesses = s.demandAccesses;
+    result.demandHits = s.demandHits;
+    result.demandMisses = s.demandMisses;
+    result.demandMerged = s.demandMshrMerged;
+    if (s.demandAccesses !=
+        s.demandHits + s.demandMisses + s.demandMshrMerged) {
+        result.failed = true;
+        result.message = "stats algebra violated after drain";
+        return result;
+    }
+    if (client.completed != demand_ops) {
+        result.failed = true;
+        result.message = "lost demand completions: " +
+                         std::to_string(client.completed) + " of " +
+                         std::to_string(demand_ops);
+    }
+    return result;
+}
+
+} // namespace berti::oracle

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Differential drivers replaying one MicroTrace through the cycle
+ * simulator and the untimed reference hierarchy.
+ *
+ * Serialized mode is the exact-agreement vehicle: each demand op is
+ * submitted alone and the machine is ticked until every queue and MSHR
+ * drains before the next op, which removes the only sources of
+ * functional timing dependence (MSHR merges and fill-time LRU ordering).
+ * In that regime the cycle model must agree with the oracle op-by-op on
+ * per-level demand hit/miss/writeback/fill counters, and at the end on
+ * exact cache contents, dirty bits and the backing-store writeback
+ * sequence. Any mismatch is reported with the first diverging op index
+ * so the shrinker can minimize the trace.
+ *
+ * Concurrent mode keeps ops racing (gaps between submissions, no
+ * drains) against a single cache level with a SimAuditor attached at
+ * interval 1: the oracle cannot predict racy interleavings, but every
+ * structural invariant (duplicate tags, MSHR bookkeeping, stats
+ * algebra) must still hold. This is the harness the PR-1
+ * writeback-racing-inflight-miss regression is pinned under.
+ */
+
+#ifndef BERTI_ORACLE_DIFF_DRIVER_HH
+#define BERTI_ORACLE_DIFF_DRIVER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "prefetch/prefetcher.hh"
+#include "oracle/microtrace.hh"
+#include "oracle/ref_cache.hh"
+#include "oracle/ref_hierarchy.hh"
+#include "sim/types.hh"
+
+namespace berti::oracle
+{
+
+/**
+ * Fixed-latency backing store below the LLC that records the order of
+ * arriving writebacks (compared against the oracle's).
+ */
+class BackingMemory : public MemLevel
+{
+  public:
+    explicit BackingMemory(const Cycle *clock, Cycle latency = 40)
+        : clock(clock), latency(latency)
+    {
+    }
+
+    bool submitRead(MemRequest req) override
+    {
+        ++reads;
+        pending.push_back({*clock + latency, req});
+        return true;
+    }
+
+    void submitWriteback(Addr p_line) override
+    {
+        writebacks.push_back(p_line);
+    }
+
+    void tick()
+    {
+        while (!pending.empty() && pending.front().first <= *clock) {
+            MemRequest req = pending.front().second;
+            pending.pop_front();
+            if (req.client)
+                req.client->readDone(req);
+        }
+    }
+
+    bool idle() const { return pending.empty(); }
+
+    const Cycle *clock;
+    Cycle latency;
+    std::deque<std::pair<Cycle, MemRequest>> pending;
+    std::uint64_t reads = 0;
+    std::vector<Addr> writebacks;
+};
+
+/**
+ * Geometry of the differential hierarchy. Small on purpose — eviction
+ * and writeback pressure is where divergences live — and LRU at every
+ * level (the oracle models exact LRU only).
+ */
+struct DiffConfig
+{
+    unsigned l1Sets = 16, l1Ways = 4;
+    unsigned l2Sets = 32, l2Ways = 8;
+    unsigned llcSets = 64, llcWays = 16;
+    Cycle memLatency = 40;
+
+    /** Injected into the *oracle's* L1 to demonstrate detection. */
+    RefPerturbation perturbation;
+
+    RefHierarchyConfig refConfig() const;
+};
+
+/** Outcome of one differential replay. */
+struct DiffResult
+{
+    bool diverged = false;
+    /** Index of the first diverging op (ops.size() for end-state). */
+    std::size_t opIndex = 0;
+    std::string message;
+};
+
+/** Replay the trace through both models; see file comment. */
+DiffResult runSerializedDiff(const MicroTrace &trace,
+                             const DiffConfig &cfg = {});
+
+/** Outcome of a concurrent (racing) replay. */
+struct ConcurrentResult
+{
+    bool failed = false;
+    std::string message;
+    std::uint64_t demandAccesses = 0;
+    std::uint64_t demandHits = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t demandMerged = 0;
+};
+
+/**
+ * Race the trace against one L1-geometry cache over a backing store,
+ * auditing every cycle. Fails on any SimError (invariant violation,
+ * wedge) or on a stats-algebra mismatch after the final drain.
+ */
+ConcurrentResult runConcurrent(const MicroTrace &trace,
+                               const DiffConfig &cfg = {});
+
+/** Counters of one serialized replay with prefetchers attached. */
+struct SerializedRunStats
+{
+    CacheStats l1;
+    CacheStats l2;
+    CacheStats llc;
+    std::uint64_t demandOps = 0;   //!< Load/RFO ops submitted
+    std::uint64_t completed = 0;   //!< demand completions observed
+    bool wedged = false;
+    std::string message;
+};
+
+/**
+ * Serialized replay of the same trace with arbitrary prefetchers on the
+ * L1/L2 (either may be null). Demand ops still run one at a time to
+ * completion; prefetch traffic is allowed a settle window after each op
+ * instead of a strict drain (a prefetcher may legally keep its queues
+ * busy). Used by the metamorphic invariants: whatever the prefetcher
+ * does, demand semantics must not change.
+ */
+SerializedRunStats
+runSerializedWithPrefetchers(const MicroTrace &trace,
+                             const DiffConfig &cfg,
+                             std::unique_ptr<Prefetcher> l1_pf,
+                             std::unique_ptr<Prefetcher> l2_pf);
+
+} // namespace berti::oracle
+
+#endif // BERTI_ORACLE_DIFF_DRIVER_HH

@@ -1,0 +1,344 @@
+#include "oracle/ref_berti.hh"
+
+#include <algorithm>
+
+namespace berti::oracle
+{
+
+namespace
+{
+
+// 16-bit timestamps (Table I); ages computed with wrap-safe arithmetic.
+constexpr Cycle kTsMask = 0xFFFF;
+// Line addresses stored with 24 bits (Figure 6).
+constexpr Addr kLineMask = 0xFFFFFF;
+
+} // namespace
+
+RefBerti::RefBerti(const BertiConfig &config)
+    : cfg(config), historySets(config.historySets), table(config.deltaTableEntries)
+{
+    for (auto &set : historySets)
+        set.resize(cfg.historyWays);
+    for (auto &e : table)
+        e.slots.resize(cfg.deltasPerEntry);
+}
+
+Addr
+RefBerti::contextOf(Addr ip, Addr v_line) const
+{
+    return cfg.perPage ? (v_line >> (kPageBits - kLineBits)) << 2 : ip;
+}
+
+unsigned
+RefBerti::historySet(Addr ip) const
+{
+    return static_cast<unsigned>((ip >> 2) % cfg.historySets);
+}
+
+std::uint16_t
+RefBerti::historyTag(Addr ip) const
+{
+    return static_cast<std::uint16_t>((ip >> 2) / cfg.historySets & 0x7F);
+}
+
+std::uint16_t
+RefBerti::tableTag(Addr ip) const
+{
+    return static_cast<std::uint16_t>(
+        ((ip >> 2) * 0x9e3779b97f4a7c15ull) >> 54);
+}
+
+void
+RefBerti::insertHistory(Addr ip, Addr v_line, Cycle now)
+{
+    auto &set = historySets[historySet(ip)];
+    // FIFO within the set: a free way if one exists, else the oldest.
+    HistoryEntry *victim = &set[0];
+    for (auto &e : set) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.insertedAt < victim->insertedAt)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->ipTag = historyTag(ip);
+    victim->line = v_line & kLineMask;
+    victim->ts = now & kTsMask;
+    victim->insertedAt = ++insertionCounter;
+}
+
+void
+RefBerti::searchHistory(Addr ip, Addr v_line, Cycle demand_time,
+                        Cycle latency)
+{
+    // Latency counter overflow stores zero, which means "unknown — skip
+    // training" (section IV-I latency-width sensitivity).
+    Cycle max_latency = (Cycle{1} << cfg.latencyBits) - 1;
+    if (latency == 0 || latency > max_latency)
+        return;
+
+    const auto &set = historySets[historySet(ip)];
+    std::uint16_t tag = historyTag(ip);
+    Cycle demand_masked = demand_time & kTsMask;
+    Cycle min_age = cfg.requireTimely ? latency : 1;
+
+    // A delta is timely when a prefetch triggered at the older access
+    // would have completed by the demand: entry.ts + latency <= demand.
+    std::vector<const HistoryEntry *> timely;
+    for (const auto &e : set) {
+        if (!e.valid || e.ipTag != tag)
+            continue;
+        Cycle age = (demand_masked - e.ts) & kTsMask;
+        if (age >= min_age && age < (kTsMask >> 1))
+            timely.push_back(&e);
+    }
+
+    // Only the youngest few accesses feed deltas (Table I: 8 per search).
+    std::sort(timely.begin(), timely.end(),
+              [](const HistoryEntry *a, const HistoryEntry *b) {
+                  return a->insertedAt > b->insertedAt;
+              });
+    if (timely.size() > cfg.maxTimelyPerSearch)
+        timely.resize(cfg.maxTimelyPerSearch);
+
+    TableEntry *entry = findEntry(ip);
+    if (!entry)
+        entry = &allocEntry(ip);
+
+    for (const HistoryEntry *e : timely) {
+        int delta = static_cast<int>(
+            static_cast<std::int64_t>(v_line & kLineMask) -
+            static_cast<std::int64_t>(e->line));
+        if (delta == 0 || delta > cfg.maxDeltaMagnitude ||
+            delta < -cfg.maxDeltaMagnitude) {
+            continue;
+        }
+        recordDelta(*entry, delta);
+    }
+
+    if (++entry->searchesThisPhase >= cfg.phaseLength)
+        closePhase(*entry);
+}
+
+RefBerti::TableEntry *
+RefBerti::findEntry(Addr ip)
+{
+    std::uint16_t tag = tableTag(ip);
+    for (auto &e : table) {
+        if (e.valid && e.ipTag == tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+const RefBerti::TableEntry *
+RefBerti::findEntry(Addr ip) const
+{
+    return const_cast<RefBerti *>(this)->findEntry(ip);
+}
+
+RefBerti::TableEntry &
+RefBerti::allocEntry(Addr ip)
+{
+    TableEntry *victim = &table[0];
+    for (auto &e : table) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.insertedAt < victim->insertedAt)
+            victim = &e;
+    }
+    victim->valid = true;
+    victim->ipTag = tableTag(ip);
+    victim->searchesThisPhase = 0;
+    victim->completedOnePhase = false;
+    victim->timelyOccurrences = 0;
+    victim->insertedAt = ++insertionCounter;
+    for (auto &s : victim->slots)
+        s = DeltaSlot{};
+    return *victim;
+}
+
+void
+RefBerti::recordDelta(TableEntry &entry, int delta)
+{
+    if (entry.timelyOccurrences < 0xFFFF)
+        ++entry.timelyOccurrences;
+    DeltaSlot *free_slot = nullptr;
+    for (auto &s : entry.slots) {
+        if (s.valid && s.delta == delta) {
+            // 4-bit coverage counter saturates.
+            if (s.coverage < 15)
+                ++s.coverage;
+            return;
+        }
+        if (!s.valid && !free_slot)
+            free_slot = &s;
+    }
+    if (free_slot) {
+        free_slot->valid = true;
+        free_slot->delta = delta;
+        free_slot->coverage = 1;
+        free_slot->status = DeltaStatus::NoPref;
+        return;
+    }
+    // Replace the lowest-coverage slot whose last-phase status marked it
+    // replaceable; a table full of protected deltas discards the new one.
+    DeltaSlot *victim = nullptr;
+    for (auto &s : entry.slots) {
+        if (s.status != DeltaStatus::L2PrefRepl &&
+            s.status != DeltaStatus::NoPref) {
+            continue;
+        }
+        if (!victim || s.coverage < victim->coverage)
+            victim = &s;
+    }
+    if (victim) {
+        victim->delta = delta;
+        victim->coverage = 1;
+        victim->status = DeltaStatus::NoPref;
+    }
+}
+
+void
+RefBerti::closePhase(TableEntry &entry)
+{
+    // Rank deltas by coverage over the finished phase, highest first;
+    // equal coverages keep slot order (the hardware priority encoder).
+    std::vector<DeltaSlot *> ranked;
+    for (auto &s : entry.slots) {
+        if (s.valid)
+            ranked.push_back(&s);
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const DeltaSlot *a, const DeltaSlot *b) {
+                         return a->coverage > b->coverage;
+                     });
+
+    unsigned selected = 0;
+    double phase = static_cast<double>(cfg.phaseLength);
+    for (DeltaSlot *s : ranked) {
+        double cov = static_cast<double>(s->coverage) / phase;
+        if (cov > cfg.l1Watermark && selected < cfg.maxSelectedDeltas) {
+            s->status = DeltaStatus::L1Pref;
+            ++selected;
+        } else if (cov > cfg.l2Watermark &&
+                   selected < cfg.maxSelectedDeltas) {
+            s->status = cov < cfg.replWatermark ? DeltaStatus::L2PrefRepl
+                                                : DeltaStatus::L2Pref;
+            ++selected;
+        } else {
+            s->status = DeltaStatus::NoPref;
+        }
+        s->coverage = 0;
+    }
+    entry.searchesThisPhase = 0;
+    entry.completedOnePhase = true;
+}
+
+void
+RefBerti::predict(Addr ip, Addr v_line, double mshr_occupancy)
+{
+    const TableEntry *entry = findEntry(ip);
+    if (!entry)
+        return;
+
+    bool mshr_free = mshr_occupancy < cfg.mshrWatermark;
+    auto issue = [&](int delta, bool l1_class) {
+        Addr target = static_cast<Addr>(
+            static_cast<std::int64_t>(v_line) + delta);
+        if (!cfg.crossPage &&
+            (target >> (kPageBits - kLineBits)) !=
+                (v_line >> (kPageBits - kLineBits))) {
+            return;
+        }
+        FillLevel level = (l1_class && mshr_free) ? FillLevel::L1
+                                                  : FillLevel::L2;
+        issued.push_back({target, level});
+    };
+
+    if (cfg.issueAllDeltas) {
+        for (const auto &s : entry->slots) {
+            if (s.valid)
+                issue(s.delta, true);
+        }
+        return;
+    }
+
+    if (!entry->completedOnePhase) {
+        // Warm-up (section III-C): enough gathered occurrences and the
+        // stricter watermark against the searches so far.
+        if (entry->timelyOccurrences < cfg.warmupMinDeltas ||
+            entry->searchesThisPhase == 0) {
+            return;
+        }
+        double searches = static_cast<double>(entry->searchesThisPhase);
+        for (const auto &s : entry->slots) {
+            if (s.valid &&
+                static_cast<double>(s.coverage) / searches >=
+                    cfg.warmupWatermark) {
+                issue(s.delta, true);
+            }
+        }
+        return;
+    }
+
+    for (const auto &s : entry->slots) {
+        if (!s.valid)
+            continue;
+        if (s.status == DeltaStatus::L1Pref) {
+            issue(s.delta, true);
+        } else if (s.status == DeltaStatus::L2Pref ||
+                   s.status == DeltaStatus::L2PrefRepl) {
+            issue(s.delta, false);
+        }
+    }
+}
+
+void
+RefBerti::onAccess(const Prefetcher::AccessInfo &info, Cycle now,
+                   double mshr_occupancy)
+{
+    if (info.vLine == kNoAddr)
+        return;
+    Addr ctx = contextOf(info.ip, info.vLine);
+    if (!info.hit) {
+        insertHistory(ctx, info.vLine, now);
+    } else if (info.firstHitOnPrefetch) {
+        insertHistory(ctx, info.vLine, now);
+        if (info.prefetchLatency != 0)
+            searchHistory(ctx, info.vLine, now, info.prefetchLatency);
+    }
+    predict(ctx, info.vLine, mshr_occupancy);
+}
+
+void
+RefBerti::onFill(const Prefetcher::FillInfo &info, Cycle now,
+                 double /*mshr_occupancy*/)
+{
+    if (!info.hadDemandWaiter || info.vLine == kNoAddr)
+        return;
+    Cycle demand_time = now >= info.latency ? now - info.latency : 0;
+    searchHistory(contextOf(info.ip, info.vLine), info.vLine, demand_time,
+                  info.latency);
+}
+
+std::vector<RefBerti::DeltaInfo>
+RefBerti::deltasFor(Addr ip) const
+{
+    std::vector<DeltaInfo> out;
+    const TableEntry *e = findEntry(ip);
+    if (!e)
+        return out;
+    for (const auto &s : e->slots) {
+        if (s.valid)
+            out.push_back({s.delta, s.coverage, s.status});
+    }
+    return out;
+}
+
+} // namespace berti::oracle

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Reference Berti: a straight transcription of the MICRO 2022 paper's
+ * table algorithms (section III-C, Figure 6, Table I) used as an
+ * executable specification for the production BertiPrefetcher.
+ *
+ * Unlike the production prefetcher it is not wired to a cache: it is an
+ * event-fed model. The differential harness feeds it the exact
+ * AccessInfo / FillInfo stream (plus the clock and MSHR occupancy the
+ * production code would have read through its PrefetchPort) and then
+ * compares learned (delta, coverage, status) sets per IP and the issued
+ * prefetch sequence. No latency machinery is modelled — the measured
+ * latency arrives as an event field, as in the paper's description of
+ * the history search.
+ */
+
+#ifndef BERTI_ORACLE_REF_BERTI_HH
+#define BERTI_ORACLE_REF_BERTI_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/berti.hh"
+#include "prefetch/prefetcher.hh"
+#include "sim/types.hh"
+
+namespace berti::oracle
+{
+
+class RefBerti
+{
+  public:
+    using DeltaStatus = BertiPrefetcher::DeltaStatus;
+    using DeltaInfo = BertiPrefetcher::DeltaInfo;
+
+    /** One prefetch the model decided to issue. */
+    struct Issue
+    {
+        Addr line = kNoAddr;
+        FillLevel level = FillLevel::L1;
+
+        bool operator==(const Issue &o) const
+        {
+            return line == o.line && level == o.level;
+        }
+    };
+
+    explicit RefBerti(const BertiConfig &cfg = {});
+
+    /**
+     * A demand access observed at the L1D, with the clock and MSHR
+     * occupancy the production prefetcher would read from its port at
+     * that moment.
+     */
+    void onAccess(const Prefetcher::AccessInfo &info, Cycle now,
+                  double mshr_occupancy);
+
+    /** A fill observed at the L1D. */
+    void onFill(const Prefetcher::FillInfo &info, Cycle now,
+                double mshr_occupancy);
+
+    /** Learned deltas of an IP, in table slot order. */
+    std::vector<DeltaInfo> deltasFor(Addr ip) const;
+
+    /** Every prefetch issued so far, in issue order. */
+    std::vector<Issue> issued;
+
+  private:
+    // Paper Figure 6: a history entry holds a short IP tag, the 24-bit
+    // accessed line and a 16-bit timestamp; sets are FIFO-replaced.
+    struct HistoryEntry
+    {
+        bool valid = false;
+        std::uint16_t ipTag = 0;
+        Addr line = 0;
+        Cycle ts = 0;
+        std::uint64_t insertedAt = 0;
+    };
+
+    struct DeltaSlot
+    {
+        bool valid = false;
+        int delta = 0;
+        unsigned coverage = 0;
+        DeltaStatus status = DeltaStatus::NoPref;
+    };
+
+    // Table-of-deltas entry: fully-associative, FIFO-replaced.
+    struct TableEntry
+    {
+        bool valid = false;
+        std::uint16_t ipTag = 0;
+        unsigned searchesThisPhase = 0;
+        bool completedOnePhase = false;
+        unsigned timelyOccurrences = 0;  //!< gathered since allocation
+        std::uint64_t insertedAt = 0;
+        std::vector<DeltaSlot> slots;
+    };
+
+    Addr contextOf(Addr ip, Addr v_line) const;
+    unsigned historySet(Addr ip) const;
+    std::uint16_t historyTag(Addr ip) const;
+    std::uint16_t tableTag(Addr ip) const;
+
+    void insertHistory(Addr ip, Addr v_line, Cycle now);
+    void searchHistory(Addr ip, Addr v_line, Cycle demand_time,
+                       Cycle latency);
+    TableEntry *findEntry(Addr ip);
+    const TableEntry *findEntry(Addr ip) const;
+    TableEntry &allocEntry(Addr ip);
+    void recordDelta(TableEntry &entry, int delta);
+    void closePhase(TableEntry &entry);
+    void predict(Addr ip, Addr v_line, double mshr_occupancy);
+
+    BertiConfig cfg;
+    std::vector<std::vector<HistoryEntry>> historySets;
+    std::vector<TableEntry> table;
+    std::uint64_t insertionCounter = 0;
+};
+
+} // namespace berti::oracle
+
+#endif // BERTI_ORACLE_REF_BERTI_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * TeePrefetcher: transparent recorder wrapped around a real prefetcher
+ * inside a running Machine. It interposes on both directions — the
+ * cache's onAccess/onFill hooks and the prefetcher's issue port — and
+ * logs every event together with the clock and MSHR occupancy the inner
+ * prefetcher observed. The log replays into an event-fed reference
+ * model (RefBerti) for end-to-end differential comparison without
+ * perturbing the simulation.
+ */
+
+#ifndef BERTI_ORACLE_TEE_HH
+#define BERTI_ORACLE_TEE_HH
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+#include "sim/types.hh"
+
+namespace berti::oracle
+{
+
+/** Everything a prefetcher could have observed at one hook call. */
+struct TeeEvent
+{
+    bool isFill = false;
+    Prefetcher::AccessInfo access;
+    Prefetcher::FillInfo fill;
+    Cycle now = 0;
+    double mshrOccupancy = 0.0;
+};
+
+/** Recorded log; owned by the test, outliving the Machine's tee. */
+struct TeeLog
+{
+    std::vector<TeeEvent> events;
+
+    struct Issue
+    {
+        Addr line = kNoAddr;
+        FillLevel level = FillLevel::L1;
+    };
+    std::vector<Issue> issues;
+};
+
+class TeePrefetcher : public Prefetcher, public PrefetchPort
+{
+  public:
+    TeePrefetcher(std::unique_ptr<Prefetcher> inner_pf, TeeLog *log_out)
+        : inner(std::move(inner_pf)), log(log_out)
+    {
+    }
+
+    void
+    onAccess(const AccessInfo &info) override
+    {
+        bindInner();
+        TeeEvent e;
+        e.access = info;
+        e.now = port->now();
+        e.mshrOccupancy = port->mshrOccupancy();
+        log->events.push_back(e);
+        inner->onAccess(info);
+    }
+
+    void
+    onFill(const FillInfo &info) override
+    {
+        bindInner();
+        TeeEvent e;
+        e.isFill = true;
+        e.fill = info;
+        e.now = port->now();
+        e.mshrOccupancy = port->mshrOccupancy();
+        log->events.push_back(e);
+        inner->onFill(info);
+    }
+
+    void
+    tick() override
+    {
+        bindInner();
+        inner->tick();
+    }
+
+    std::uint64_t storageBits() const override
+    {
+        return inner->storageBits();
+    }
+
+    std::string name() const override { return "tee:" + inner->name(); }
+
+    std::string debugState() const override
+    {
+        return inner->debugState();
+    }
+
+    Prefetcher *innerPrefetcher() { return inner.get(); }
+
+    // PrefetchPort: the inner prefetcher issues through us.
+    bool
+    issuePrefetch(Addr line_addr, FillLevel level) override
+    {
+        log->issues.push_back({line_addr, level});
+        return port->issuePrefetch(line_addr, level);
+    }
+
+    double mshrOccupancy() const override
+    {
+        return port->mshrOccupancy();
+    }
+
+    Cycle now() const override { return port->now(); }
+
+  private:
+    /**
+     * Prefetcher::bind is non-virtual and runs before events flow, so
+     * the inner prefetcher is pointed at us lazily, on the first hook
+     * call (by which time the host cache has bound this tee).
+     */
+    void
+    bindInner()
+    {
+        if (!innerBound) {
+            inner->bind(this);
+            innerBound = true;
+        }
+    }
+
+    std::unique_ptr<Prefetcher> inner;
+    TeeLog *log;
+    bool innerBound = false;
+};
+
+} // namespace berti::oracle
+
+#endif // BERTI_ORACLE_TEE_HH

@@ -32,9 +32,12 @@ namespace
 {
 
 /** The pinned matrix. Small enough to run in seconds, wide enough to
- *  cover the no-prefetch baseline and the paper's prefetcher. */
-const std::vector<std::string> kWorkloads = {"mcf-like.472",
-                                             "bwaves-like.2609"};
+ *  cover the no-prefetch baseline and the paper's prefetcher across
+ *  regular streams, interleaved strides (the per-IP-table-thrashing
+ *  CactuBSSN regime) and a serial pointer chase (nothing timely). */
+const std::vector<std::string> kWorkloads = {
+    "mcf-like.472", "bwaves-like.2609", "cactu-like.709",
+    "mcf-like.1536"};
 const std::vector<std::string> kSpecs = {"none", "berti"};
 
 /** Pinned ROI; never derived from env so goldens cannot drift with
