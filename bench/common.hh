@@ -19,6 +19,7 @@
 #include "harness/parallel.hh"
 #include "harness/table.hh"
 #include "obs/export.hh"
+#include "sim/options.hh"
 
 namespace berti::bench
 {
@@ -51,8 +52,8 @@ writeStatsSidecars(const std::vector<Workload> &workloads,
                    const std::vector<PrefetcherSpec> &specs,
                    const std::vector<std::vector<SimResult>> &grid)
 {
-    const char *dir = std::getenv("BERTI_STATS_DIR");
-    if (!dir || !dir[0])
+    const std::string dir = sim::SimOptions::fromEnv().statsDir;
+    if (dir.empty())
         return;
     std::map<std::string, unsigned> used;
     for (std::size_t s = 0; s < specs.size(); ++s) {
@@ -62,22 +63,21 @@ writeStatsSidecars(const std::vector<Workload> &workloads,
             unsigned n = used[stem]++;
             if (n > 0)
                 stem += "." + std::to_string(n);
-            obs::writeFile(std::string(dir) + "/" + stem + ".json",
+            obs::writeFile(dir + "/" + stem + ".json",
                            obs::toJson(resultSnapshot(grid[s][w])));
         }
     }
 }
 
 /** Default region-of-interest sizes for bench runs. Set
- *  BERTI_BENCH_QUICK=1 in the environment for a fast smoke pass. */
+ *  BERTI_BENCH_QUICK=1 (or pass --quick) for a fast smoke pass. */
 inline SimParams
-defaultParams()
+defaultParams(const sim::SimOptions &opt = sim::SimOptions::fromEnv())
 {
     SimParams p;
     p.warmupInstructions = 40000;
     p.measureInstructions = 200000;
-    if (const char *quick = std::getenv("BERTI_BENCH_QUICK");
-        quick && quick[0] == '1') {
+    if (opt.benchQuick) {
         p.warmupInstructions = 10000;
         p.measureInstructions = 40000;
     }

@@ -20,6 +20,7 @@ for b in build/bench/*; do
     n=$(basename "$b")
     { [ -f "$b" ] && [ -x "$b" ]; } || continue
     [ "$n" = "micro_prefetchers" ] && continue
+    [ "$n" = "perf_simspeed" ] && continue
     [ -s "results/$n.txt" ] && continue
     echo "=== $n start $(date +%T) (BERTI_JOBS=$BERTI_JOBS)"
     tmp="results/.$n.txt.tmp"
@@ -37,6 +38,22 @@ for b in build/bench/*; do
         echo "=== $n FAILED rc=$rc $(date +%T) (see results/log/$n.stderr)"
     fi
 done
+# Simulator-speed harness: human table to results/perf_simspeed.txt plus
+# the JSON artifact, collected via temp-file+mv so an interrupted run
+# never leaves a partial BENCH_simspeed.json behind.
+if [ ! -s results/BENCH_simspeed.json ]; then
+    tmp="results/.perf_simspeed.txt.tmp"
+    tmpjson="results/.BENCH_simspeed.json.tmp"
+    if ./build/bench/perf_simspeed "--out=$tmpjson" > "$tmp" \
+        2> results/log/perf_simspeed.stderr; then
+        mv "$tmpjson" results/BENCH_simspeed.json
+        mv "$tmp" results/perf_simspeed.txt
+    else
+        rm -f "$tmp" "$tmpjson"
+        failed="$failed perf_simspeed"
+        echo "=== perf_simspeed FAILED (see results/log/perf_simspeed.stderr)"
+    fi
+fi
 if [ ! -s results/micro_prefetchers.txt ]; then
     tmp="results/.micro_prefetchers.txt.tmp"
     if ./build/bench/micro_prefetchers --benchmark_min_time=0.1s \

@@ -20,6 +20,8 @@ BertiPrefetcher::BertiPrefetcher(const BertiConfig &config)
 {
     for (auto &e : table)
         e.slots.resize(cfg.deltasPerEntry);
+    candScratch.reserve(cfg.historyWays);
+    orderScratch.reserve(cfg.deltasPerEntry);
 }
 
 unsigned
@@ -100,12 +102,8 @@ BertiPrefetcher::searchHistory(Addr ip, Addr v_line, Cycle demand_time,
     // Collect matching entries whose access time is early enough that a
     // prefetch triggered then would have completed by demand_time:
     //   entry.ts + latency <= demand_time.
-    struct Cand
-    {
-        std::uint64_t order;
-        Addr line;
-    };
-    std::vector<Cand> cands;
+    std::vector<Cand> &cands = candScratch;
+    cands.clear();
     Cycle demand_masked = demand_time & kTimestampMask;
     for (unsigned w = 0; w < cfg.historyWays; ++w) {
         const HistoryEntry &e = history[base + w];
@@ -238,15 +236,26 @@ BertiPrefetcher::closePhase(DeltaEntry &entry)
     // coverages rank in slot order, like a hardware priority encoder —
     // an unstable tie-break would make the selected set depend on the
     // standard library.
-    std::vector<DeltaSlot *> order;
+    std::vector<DeltaSlot *> &order = orderScratch;
+    order.clear();
     for (auto &s : entry.slots) {
         if (s.valid)
             order.push_back(&s);
     }
-    std::stable_sort(order.begin(), order.end(),
-                     [](const DeltaSlot *a, const DeltaSlot *b) {
-                         return a->coverage > b->coverage;
-                     });
+    // In-place stable insertion sort: slots per entry are few (16 in
+    // the paper's configuration) and std::stable_sort heap-allocates a
+    // temporary buffer, which would break the allocation-free hot-path
+    // guarantee. Strict comparison keeps ties in slot order, producing
+    // exactly the std::stable_sort ordering.
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        DeltaSlot *key = order[i];
+        std::size_t j = i;
+        while (j > 0 && order[j - 1]->coverage < key->coverage) {
+            order[j] = order[j - 1];
+            --j;
+        }
+        order[j] = key;
+    }
 
     unsigned selected = 0;
     double phase = static_cast<double>(cfg.phaseLength);

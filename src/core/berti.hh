@@ -104,7 +104,9 @@ struct BertiConfig
     bool perPage = false;
 };
 
-class BertiPrefetcher : public Prefetcher
+/** Final so the L1D's resolved dispatch (Cache::PfDispatch::Berti)
+ *  devirtualizes the per-access hook calls. */
+class BertiPrefetcher final : public Prefetcher
 {
   public:
     /** Per-delta prefetch decision, from most to least aggressive. */
@@ -211,6 +213,17 @@ class BertiPrefetcher : public Prefetcher
     std::vector<HistoryEntry> history;   //!< sets * ways
     std::vector<DeltaEntry> table;
     std::uint64_t orderTick = 0;
+
+    /** One history-search candidate (searchHistory scratch). */
+    struct Cand
+    {
+        std::uint64_t order;
+        Addr line;
+    };
+    // Per-call scratch for searchHistory/closePhase, preallocated in the
+    // constructor so the per-access training path never heap-allocates.
+    std::vector<Cand> candScratch;
+    std::vector<DeltaSlot *> orderScratch;
 };
 
 } // namespace berti

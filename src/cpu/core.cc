@@ -11,7 +11,16 @@ Core::Core(const CoreConfig &config, const Cycle *clock_ptr,
     : cfg(config), clock(clock_ptr), coreId(core_id), gen(generator),
       l1i(l1i_cache), l1d(l1d_cache), translation(tu), branch(cfg.branch),
       itlb(16, 4, 1)
-{}
+{
+    // Allocation-free steady state: structural bounds are known up
+    // front. pendingAccesses can transiently exceed the ROB (stores
+    // survive retirement until issued), so it gets headroom and the
+    // ring only grows under extreme store backpressure.
+    rob.reserve(cfg.robSize);
+    fetchBuffer.reserve(cfg.fetchBufferSize);
+    pendingAccesses.reserve(2 * static_cast<std::size_t>(cfg.robSize));
+    outstandingLoads.reserve(cfg.robSize);
+}
 
 void
 Core::tick()
@@ -97,24 +106,25 @@ Core::issueMemory()
 {
     unsigned loads = 0;
     unsigned stores = 0;
-    for (auto it = pendingAccesses.begin(); it != pendingAccesses.end();) {
+    for (std::size_t i = 0; i < pendingAccesses.size();) {
         if (loads >= cfg.maxLoadsPerCycle && stores >= cfg.maxStoresPerCycle)
             break;
-        if (it->readyCycle > *clock) {
-            ++it;
+        PendingAccess &a = pendingAccesses[i];
+        if (a.readyCycle > *clock) {
+            ++i;
             continue;
         }
-        unsigned &count = it->isStore ? stores : loads;
+        unsigned &count = a.isStore ? stores : loads;
         unsigned limit =
-            it->isStore ? cfg.maxStoresPerCycle : cfg.maxLoadsPerCycle;
+            a.isStore ? cfg.maxStoresPerCycle : cfg.maxLoadsPerCycle;
         if (count >= limit) {
-            ++it;
+            ++i;
             continue;
         }
-        if (!l1d->submitRead(it->req))
+        if (!l1d->submitRead(a.req))
             break;  // L1D read queue full: try again next cycle
         ++count;
-        it = pendingAccesses.erase(it);
+        pendingAccesses.erase(i);
     }
 }
 
@@ -181,6 +191,39 @@ Core::fetch()
         if (fetchLinePending)
             return;
     }
+}
+
+Cycle
+Core::nextEventCycle() const
+{
+    Cycle next = kNever;
+
+    // Retirement: the head completing is an external event (readDone);
+    // an already-done head retires next tick.
+    if (robHeadDone())
+        return *clock + 1;
+
+    // Memory issue: any translated access that is (or becomes) ready.
+    for (const PendingAccess &a : pendingAccesses)
+        next = std::min(next, std::max(a.readyCycle, *clock + 1));
+
+    // Dispatch: possible next tick unless the ROB is full (unblocked by
+    // retirement, handled above) or the head waits on an outstanding
+    // load (unblocked by readDone, an external event).
+    if (!fetchBuffer.empty() && !robFull()) {
+        const FetchedInstr &fi = fetchBuffer.front();
+        if (!(fi.depLoadId && outstandingLoads.count(fi.depLoadId)))
+            next = std::min(next, *clock + 1);
+    }
+
+    // Fetch: generators never run dry, so an unblocked front-end with
+    // buffer space always has work — at the stall horizon if redirect /
+    // iTLB penalties are pending, next tick otherwise. An L1I miss in
+    // flight (fetchLinePending) is an external event.
+    if (!fetchLinePending && fetchBuffer.size() < cfg.fetchBufferSize)
+        next = std::min(next, std::max(fetchStallUntil, *clock + 1));
+
+    return next;
 }
 
 void

@@ -10,11 +10,10 @@
 #define BERTI_CPU_CORE_HH
 
 #include <cstdint>
-#include <deque>
-#include <unordered_set>
 
 #include "cpu/branch_predictor.hh"
 #include "mem/cache.hh"
+#include "sim/ring.hh"
 #include "sim/stats.hh"
 #include "trace/instr.hh"
 #include "vm/tlb.hh"
@@ -57,6 +56,14 @@ class Core : public ReadClient
 
     /** Advance one cycle: retire, issue, dispatch, fetch. */
     void tick();
+
+    /**
+     * Earliest future cycle at which tick() would make progress, given
+     * no readDone arrives in between (kNever if the core is blocked
+     * purely on memory responses). Quiescence cycle-skip input; the
+     * bound must never be late.
+     */
+    Cycle nextEventCycle() const;
 
     // ReadClient: load and instruction-fetch completions from the L1s.
     void readDone(const MemRequest &req) override;
@@ -132,10 +139,10 @@ class Core : public ReadClient
     BranchPredictor branch;
     Tlb itlb;
 
-    std::deque<RobEntry> rob;
-    std::deque<FetchedInstr> fetchBuffer;
-    std::deque<PendingAccess> pendingAccesses;
-    std::unordered_set<std::uint64_t> outstandingLoads;
+    RingQueue<RobEntry> rob;
+    RingQueue<FetchedInstr> fetchBuffer;
+    RingQueue<PendingAccess> pendingAccesses;
+    IdSet outstandingLoads;
 
     std::uint64_t nextInstrId = 1;
     std::uint64_t lastLoadId = 0;      //!< program-order last load

@@ -1,20 +1,8 @@
 #include "harness/experiment.hh"
 
+#include "prefetch/registry.hh"
 #include "verify/sim_error.hh"
 
-#include "prefetch/bingo.hh"
-#include "prefetch/bop.hh"
-#include "prefetch/ip_stride.hh"
-#include "prefetch/ipcp.hh"
-#include "prefetch/misb.hh"
-#include "prefetch/mlop.hh"
-#include "prefetch/next_line.hh"
-#include "prefetch/ppf.hh"
-#include "prefetch/pythia.hh"
-#include "prefetch/sms.hh"
-#include "prefetch/spp.hh"
-#include "prefetch/stream.hh"
-#include "prefetch/vldp.hh"
 
 namespace berti
 {
@@ -25,38 +13,7 @@ namespace
 PrefetcherFactory
 factoryFor(const std::string &name)
 {
-    if (name == "none" || name.empty())
-        return nullptr;
-    if (name == "ip-stride")
-        return [] { return std::make_unique<IpStridePrefetcher>(); };
-    if (name == "next-line")
-        return [] { return std::make_unique<NextLinePrefetcher>(); };
-    if (name == "bop")
-        return [] { return std::make_unique<BopPrefetcher>(); };
-    if (name == "mlop")
-        return [] { return std::make_unique<MlopPrefetcher>(); };
-    if (name == "ipcp")
-        return [] { return std::make_unique<IpcpPrefetcher>(); };
-    if (name == "berti")
-        return [] { return std::make_unique<BertiPrefetcher>(); };
-    if (name == "spp")
-        return [] { return std::make_unique<SppPrefetcher>(); };
-    if (name == "spp-ppf")
-        return [] { return std::make_unique<SppPpfPrefetcher>(); };
-    if (name == "bingo")
-        return [] { return std::make_unique<BingoPrefetcher>(); };
-    if (name == "vldp")
-        return [] { return std::make_unique<VldpPrefetcher>(); };
-    if (name == "misb")
-        return [] { return std::make_unique<MisbPrefetcher>(); };
-    if (name == "pythia")
-        return [] { return std::make_unique<PythiaPrefetcher>(); };
-    if (name == "sms")
-        return [] { return std::make_unique<SmsPrefetcher>(); };
-    if (name == "stream")
-        return [] { return std::make_unique<StreamPrefetcher>(); };
-    throw verify::SimError(verify::ErrorKind::Config, "experiment",
-                           "unknown prefetcher: \"" + name + "\"");
+    return prefetch::make(name);
 }
 
 std::uint64_t

@@ -68,6 +68,15 @@ MachineConfig::sunnyCove(unsigned cores)
     return m;
 }
 
+void
+MachineConfig::applyOptions(const sim::SimOptions &opt)
+{
+    sampler = obs::SamplerConfig::fromOptions(opt);
+    pfTrace = obs::TraceConfig::fromOptions(opt);
+    audit = verify::AuditConfig::fromOptions(opt);
+    cycleSkip = opt.cycleSkip;
+}
+
 Machine::Machine(const MachineConfig &config,
                  std::vector<TraceGenerator *> generators)
     : cfg(config), watchdog(cfg.watchdog, &clock)
@@ -171,6 +180,8 @@ Machine::Machine(const MachineConfig &config,
     snapshots.resize(cfg.cores);
     for (unsigned c = 0; c < cfg.cores; ++c)
         snapshots[c] = liveStats(c);
+    runTargets.reserve(cfg.cores);
+    runDone.reserve(cfg.cores);
 
     registerAllMetrics();
     if (cfg.sampler.interval > 0) {
@@ -226,20 +237,49 @@ Machine::tick()
         audit->tick();
 }
 
+Cycle
+Machine::nextInterestingCycle() const
+{
+    Cycle next = dram->nextEventCycle();
+    next = std::min(next, llc->nextEventCycle());
+    for (const auto &n : nodes) {
+        next = std::min(next, n->l2Cache->nextEventCycle());
+        next = std::min(next, n->l1dCache->nextEventCycle());
+        next = std::min(next, n->l1iCache->nextEventCycle());
+        next = std::min(next, n->cpu->nextEventCycle());
+    }
+    return next;
+}
+
+void
+Machine::fastForward(Cycle cycles)
+{
+    // An idle tick's only observable effect is ++clock plus one
+    // ++stats.cycles per core (watchdog observations are value-stable
+    // and the instruction-triggered sampler cannot fire while nothing
+    // retires), so a block of idle ticks collapses to bulk additions.
+    clock += cycles;
+    for (auto &n : nodes)
+        n->cpu->stats.cycles += cycles;
+    cyclesSkipped += cycles;
+}
+
 void
 Machine::run(std::uint64_t target_instructions)
 {
-    std::vector<std::uint64_t> targets(cfg.cores);
-    std::vector<bool> done(cfg.cores, false);
+    runTargets.assign(cfg.cores, 0);
+    runDone.assign(cfg.cores, 0);
     for (unsigned c = 0; c < cfg.cores; ++c)
-        targets[c] = nodes[c]->cpu->stats.instructions +
-                     target_instructions;
+        runTargets[c] = nodes[c]->cpu->stats.instructions +
+                        target_instructions;
 
     unsigned remaining = cfg.cores;
     // Hard safety bound so a configuration bug cannot hang a bench.
     std::uint64_t max_cycles =
         clock + 2000ull * target_instructions + 1000000ull;
 
+    skipBackoff = 1;
+    skipProbeAt = 0;
     watchdog.reset(cfg.cores);
     while (remaining > 0 && clock < max_cycles) {
         tick();
@@ -247,8 +287,8 @@ Machine::run(std::uint64_t target_instructions)
             Core &cpu = *nodes[c]->cpu;
             watchdog.observe(c, cpu.stats.instructions,
                              cpu.robHeadId());
-            if (!done[c] && cpu.stats.instructions >= targets[c]) {
-                done[c] = true;
+            if (!runDone[c] && cpu.stats.instructions >= runTargets[c]) {
+                runDone[c] = 1;
                 snapshots[c] = liveStats(c);
                 --remaining;
             }
@@ -259,6 +299,29 @@ Machine::run(std::uint64_t target_instructions)
         if (sampler)
             sampler->maybeSample(nodes[0]->cpu->stats.instructions,
                                  clock);
+
+        // Quiescence cycle-skip: when every component is provably idle
+        // until some future cycle, fast-forward to just before the
+        // earliest of (component event, auditor interval check,
+        // watchdog deadline, hard bound) so the next tick executes at
+        // exactly the cycle it would have without skipping — results
+        // stay bit-identical (see ARCHITECTURE.md, "Performance").
+        if (cfg.cycleSkip && remaining > 0 && clock < max_cycles &&
+            clock >= skipProbeAt) {
+            Cycle next = nextInterestingCycle();
+            if (audit)
+                next = std::min(next, audit->nextCheckCycle());
+            next = std::min(next, watchdog.nextDeadline());
+            next = std::min(next, static_cast<Cycle>(max_cycles));
+            if (next > clock + 1) {
+                fastForward(next - (clock + 1));
+                skipBackoff = 1;
+                skipProbeAt = 0;
+            } else {
+                skipBackoff = std::min<Cycle>(skipBackoff * 2, 32);
+                skipProbeAt = clock + skipBackoff;
+            }
+        }
     }
 }
 

@@ -18,6 +18,7 @@
 #include "obs/event_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/timeseries.hh"
+#include "sim/options.hh"
 #include "sim/stats.hh"
 #include "trace/instr.hh"
 #include "verify/auditor.hh"
@@ -49,6 +50,11 @@ struct MachineConfig
     PrefetcherFactory l2Prefetcher;   //!< null = no L2 prefetcher
     PrefetcherFactory l1iPrefetcher;  //!< null = no L1I prefetcher
 
+    // ------------------------------------------------ simulator speed
+    /** Quiescence cycle-skip (bit-identical results; BERTI_CYCLE_SKIP=0
+     *  disables). See ARCHITECTURE.md, "Performance". */
+    bool cycleSkip = sim::SimOptions::fromEnv().cycleSkip;
+
     // --------------------------------------------- observability layer
     /** Interval time-series sampling; off unless BERTI_OBS_INTERVAL. */
     obs::SamplerConfig sampler = obs::SamplerConfig::fromEnv();
@@ -71,6 +77,14 @@ struct MachineConfig
      * LLC; one DDR5-6400 channel per 4 cores.
      */
     static MachineConfig sunnyCove(unsigned cores = 1);
+
+    /**
+     * Re-derive every options-driven field (sampler, pfTrace, audit,
+     * cycleSkip) from one already-parsed options value instead of the
+     * per-field environment defaults — the hook benches use to thread
+     * CLI-overridden SimOptions through to the Machine.
+     */
+    void applyOptions(const sim::SimOptions &opt);
 };
 
 class Machine
@@ -152,6 +166,11 @@ class Machine
 
     Cycle cycle() const { return clock; }
 
+    /** Cycles fast-forwarded by the quiescence skip in run() so far
+     *  (0 when cfg.cycleSkip is off). Simulated time is unaffected —
+     *  this is purely a wall-time diagnostic for the perf harness. */
+    std::uint64_t skippedCycles() const { return cyclesSkipped; }
+
     Cache &l1d(unsigned core_id) { return *nodes[core_id]->l1dCache; }
     Cache &l2(unsigned core_id) { return *nodes[core_id]->l2Cache; }
     Cache &sharedLlc() { return *llc; }
@@ -184,8 +203,32 @@ class Machine
     std::unique_ptr<verify::SimAuditor> audit;
     verify::ProgressWatchdog watchdog;
     std::unique_ptr<obs::IntervalSampler> sampler;
+    std::uint64_t cyclesSkipped = 0;
+    // Quiescence-probe backoff: scanning every component each tick is
+    // pure overhead while the machine is busy, so failed probes back
+    // off exponentially (capped). Skipping later (or less) than
+    // possible is always safe — only *which* cycles are provably idle
+    // matters for invariance, not when we notice.
+    Cycle skipBackoff = 1;
+    Cycle skipProbeAt = 0;
+    // run()-loop scratch, preallocated so the run loop itself stays
+    // allocation-free.
+    std::vector<std::uint64_t> runTargets;
+    std::vector<char> runDone;
 
     void tick();
+
+    /**
+     * Earliest future cycle at which any component would do work given
+     * no new input (kNever when everything is drained). The min over
+     * every cache, core and the DRAM controller's own bounds.
+     */
+    Cycle nextInterestingCycle() const;
+
+    /** Jump the clock forward over provably idle cycles, keeping the
+     *  per-core cycle counters in lockstep (an idle tick's only effect). */
+    void fastForward(Cycle cycles);
+
     void registerAllMetrics();
 
     [[noreturn]] void failWedged(unsigned core_id);

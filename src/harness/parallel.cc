@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "sim/options.hh"
 #include "verify/sim_error.hh"
 
 namespace berti
@@ -16,22 +17,9 @@ namespace berti
 unsigned
 parallelJobCount()
 {
-    if (const char *env = std::getenv("BERTI_JOBS")) {
-        const std::string text(env);
-        bool digits = !text.empty();
-        for (char c : text) {
-            if (!std::isdigit(static_cast<unsigned char>(c)))
-                digits = false;
-        }
-        unsigned long value = digits ? std::strtoul(env, nullptr, 10) : 0;
-        if (!digits || value == 0 || value > 4096) {
-            throw verify::SimError(
-                verify::ErrorKind::Config, "parallel",
-                "BERTI_JOBS must be a positive integer (got \"" + text +
-                    "\")");
-        }
-        return static_cast<unsigned>(value);
-    }
+    unsigned jobs = sim::SimOptions::fromEnv().jobs;
+    if (jobs)
+        return jobs;
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

@@ -1,5 +1,8 @@
 #include "mem/cache.hh"
 
+#include <algorithm>
+
+#include "core/berti.hh"
 #include "obs/event_trace.hh"
 #include "obs/metrics.hh"
 #include "verify/fault_injector.hh"
@@ -43,6 +46,20 @@ Cache::Cache(const CacheConfig &config, const Cycle *clock_ptr)
 {
     validateCacheConfig(cfg);
     pf->bind(this);
+
+    // Steady-state allocation-free hot path: every queue, the MSHR
+    // free-list and the waiter-wake scratch are sized up front. The
+    // write queue is soft-capacity (submitWriteback never refuses), so
+    // it reserves headroom and only reallocates under burst pressure.
+    rq.reserve(cfg.rqSize);
+    pq.reserve(cfg.pqSize ? cfg.pqSize : 1);
+    wq.reserve(2 * static_cast<std::size_t>(cfg.wqSize) + 8);
+    mshrFree.reserve(cfg.mshrs);
+    for (unsigned i = cfg.mshrs; i-- > 0;)
+        mshrFree.push_back(i);
+    wakeScratch.reserve(8);
+    for (auto &e : mshr)
+        e.waiters.reserve(8);
 }
 
 Cache::~Cache() = default;
@@ -53,6 +70,46 @@ Cache::setPrefetcher(std::unique_ptr<Prefetcher> prefetcher)
     pf = prefetcher ? std::move(prefetcher)
                     : std::make_unique<NoPrefetcher>();
     pf->bind(this);
+
+    // Resolve the dispatch mode once: the per-access hooks then either
+    // skip the call (no prefetcher) or call BertiPrefetcher (a final
+    // class) directly instead of through the vtable.
+    if (dynamic_cast<NoPrefetcher *>(pf.get()))
+        pfDispatch = PfDispatch::None;
+    else if (dynamic_cast<BertiPrefetcher *>(pf.get()))
+        pfDispatch = PfDispatch::Berti;
+    else
+        pfDispatch = PfDispatch::Virtual;
+}
+
+void
+Cache::notifyAccess(const Prefetcher::AccessInfo &info)
+{
+    switch (pfDispatch) {
+      case PfDispatch::None:
+        break;
+      case PfDispatch::Berti:
+        static_cast<BertiPrefetcher &>(*pf).onAccess(info);
+        break;
+      case PfDispatch::Virtual:
+        pf->onAccess(info);
+        break;
+    }
+}
+
+void
+Cache::notifyFill(const Prefetcher::FillInfo &info)
+{
+    switch (pfDispatch) {
+      case PfDispatch::None:
+        break;
+      case PfDispatch::Berti:
+        static_cast<BertiPrefetcher &>(*pf).onFill(info);
+        break;
+      case PfDispatch::Virtual:
+        pf->onFill(info);
+        break;
+    }
 }
 
 void
@@ -137,15 +194,51 @@ Cache::findMshr(Addr p_line)
 Cache::MshrEntry *
 Cache::allocMshr()
 {
-    for (auto &e : mshr) {
-        if (!e.valid) {
-            e = MshrEntry{};
-            e.valid = true;
-            ++mshrUsed;
-            return &e;
-        }
+    if (mshrFree.empty())
+        return nullptr;
+    MshrEntry &e = mshr[mshrFree.back()];
+    mshrFree.pop_back();
+    // Field-wise reset instead of `e = MshrEntry{}` so the waiters
+    // vector keeps its capacity across reuse (allocation-free arena).
+    e.pLine = kNoAddr;
+    e.vLine = kNoAddr;
+    e.ip = 0;
+    e.isPrefetch = false;
+    e.hadDemand = false;
+    e.wantsDirty = false;
+    e.fillLevel = FillLevel::L1;
+    e.ts = 0;
+    e.sentBelow = false;
+    e.fwd = MemRequest{};
+    e.waiters.clear();
+    e.valid = true;
+    ++mshrUsed;
+    return &e;
+}
+
+void
+Cache::releaseMshr(MshrEntry *e)
+{
+    if (!e->sentBelow)
+        --unsentMshrs;
+    e->valid = false;
+    --mshrUsed;
+    mshrFree.push_back(static_cast<unsigned>(e - mshr.data()));
+}
+
+void
+Cache::releaseAndWake(MshrEntry *e)
+{
+    // Stage the waiters in the member scratch so waking them does not
+    // allocate. Wakes never re-enter this cache's readDone (clients are
+    // strictly upper levels / cores), so one scratch suffices.
+    wakeScratch.swap(e->waiters);
+    releaseMshr(e);
+    for (auto &w : wakeScratch) {
+        if (w.client)
+            w.client->readDone(w);
     }
-    return nullptr;
+    wakeScratch.clear();
 }
 
 bool
@@ -269,7 +362,7 @@ Cache::fastHit(Addr p_line)
     if (cfg.trainOnInstrFetch) {
         trainVLine = cfg.isL1d ? info.vLine : info.pLine;
         trainIp = info.ip;
-        pf->onAccess(info);
+        notifyAccess(info);
         trainVLine = kNoAddr;
         trainIp = 0;
     }
@@ -296,7 +389,32 @@ Cache::tick()
     processReads();
     processPrefetches();
     retryUnsentMshrs();
-    pf->tick();
+    // Prefetcher tick, devirtualized like the hooks. Prefetcher::tick
+    // is contractually event-driven-safe (no timed work while the cache
+    // is idle — see prefetcher.hh), which is what lets nextEventCycle()
+    // ignore it.
+    if (pfDispatch == PfDispatch::Virtual)
+        pf->tick();
+}
+
+Cycle
+Cache::nextEventCycle() const
+{
+    // Pending writes and unsent MSHR retries are attempted every cycle.
+    if (!wq.empty() || unsentMshrs > 0)
+        return *clock + 1;
+    Cycle next = kNever;
+    // Reads/prefetches are head-of-line: only the head's maturity
+    // (enqueue + lookup latency) gates progress.
+    if (!rq.empty()) {
+        Cycle due = rq.front().enqueueCycle + cfg.latency;
+        next = std::min(next, std::max(due, *clock + 1));
+    }
+    if (!pq.empty()) {
+        Cycle due = pq.front().enqueueCycle + cfg.latency;
+        next = std::min(next, std::max(due, *clock + 1));
+    }
+    return next;
 }
 
 void
@@ -396,7 +514,7 @@ Cache::handleRead(MemRequest &req)
                  req.type == AccessType::InstrFetch)) {
                 trainVLine = cfg.isL1d ? info.vLine : info.pLine;
                 trainIp = info.ip;
-                pf->onAccess(info);
+                notifyAccess(info);
                 trainVLine = kNoAddr;
                 trainIp = 0;
             }
@@ -491,6 +609,8 @@ Cache::handleRead(MemRequest &req)
     e->sentBelow = lower->submitRead(fwd);
     if (e->sentBelow)
         ++stats.requestsBelow;
+    else
+        ++unsentMshrs;
 
     if (demand && (req.type == AccessType::Load ||
                    req.type == AccessType::Rfo ||
@@ -504,7 +624,7 @@ Cache::handleRead(MemRequest &req)
         info.hit = false;
         trainVLine = cfg.isL1d ? info.vLine : info.pLine;
         trainIp = info.ip;
-        pf->onAccess(info);
+        notifyAccess(info);
         trainVLine = kNoAddr;
         trainIp = 0;
     }
@@ -568,17 +688,23 @@ Cache::handlePrefetch(MemRequest &req)
     e->sentBelow = lower->submitRead(fwd);
     if (e->sentBelow)
         ++stats.requestsBelow;
+    else
+        ++unsentMshrs;
     return true;
 }
 
 void
 Cache::retryUnsentMshrs()
 {
+    if (unsentMshrs == 0)
+        return;
     for (auto &e : mshr) {
         if (e.valid && !e.sentBelow) {
             e.sentBelow = lower->submitRead(e.fwd);
-            if (e.sentBelow)
+            if (e.sentBelow) {
                 ++stats.requestsBelow;
+                --unsentMshrs;
+            }
         }
     }
 }
@@ -641,13 +767,7 @@ Cache::readDone(const MemRequest &req)
     // wakes any upper-level prefetch clients without installing the
     // line — the prefetch is simply wasted. Demand fills never drop.
     if (fill_prefetched && faults && faults->dropPrefetchFill()) {
-        std::vector<MemRequest> waiters = std::move(e->waiters);
-        e->valid = false;
-        --mshrUsed;
-        for (auto &w : waiters) {
-            if (w.client)
-                w.client->readDone(w);
-        }
+        releaseAndWake(e);
         return;
     }
 
@@ -665,13 +785,7 @@ Cache::readDone(const MemRequest &req)
         // wake the waiters instead. The SimAuditor's duplicate-tag
         // invariant guards this path.
         present->dirty |= e->wantsDirty;
-        std::vector<MemRequest> waiters = std::move(e->waiters);
-        e->valid = false;
-        --mshrUsed;
-        for (auto &w : waiters) {
-            if (w.client)
-                w.client->readDone(w);
-        }
+        releaseAndWake(e);
         return;
     }
 
@@ -696,16 +810,10 @@ Cache::readDone(const MemRequest &req)
     info.latency = latency;
     info.evictedPLine = lastEvictedPLine;
     info.evictedUnusedPrefetch = lastEvictedUnusedPf;
-    pf->onFill(info);
+    notifyFill(info);
 
     // Wake every waiter (cores and upper caches).
-    std::vector<MemRequest> waiters = std::move(e->waiters);
-    e->valid = false;
-    --mshrUsed;
-    for (auto &w : waiters) {
-        if (w.client)
-            w.client->readDone(w);
-    }
+    releaseAndWake(e);
 }
 
 } // namespace berti

@@ -8,7 +8,6 @@
 #ifndef BERTI_MEM_CACHE_HH
 #define BERTI_MEM_CACHE_HH
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +15,7 @@
 #include "mem/replacement.hh"
 #include "mem/request.hh"
 #include "prefetch/prefetcher.hh"
+#include "sim/ring.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -143,6 +143,16 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
     /** Advance one cycle: drain WQ, RQ, PQ, retry unsent MSHRs. */
     void tick();
 
+    /**
+     * Earliest future cycle at which tick() would do any work, given no
+     * new input arrives (kNever if idle). Used by the Machine's
+     * quiescence cycle-skip; see ARCHITECTURE.md, "Performance". The
+     * bound must never be late: pending writes and unsent MSHR retries
+     * are due next cycle, queued reads/prefetches mature when the head
+     * finishes its lookup latency.
+     */
+    Cycle nextEventCycle() const;
+
     // ReadClient: response from the level below.
     void readDone(const MemRequest &req) override;
 
@@ -211,7 +221,21 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
         Cycle ts = 0;             //!< PQ-insert or allocation timestamp
         bool sentBelow = false;
         MemRequest fwd;           //!< request to (re)send below
-        std::vector<MemRequest> waiters;
+        std::vector<MemRequest> waiters;  //!< capacity retained on reuse
+    };
+
+    /**
+     * How the per-access prefetcher hooks are dispatched. Resolved once
+     * in setPrefetcher so the L1D demand path pays a switch on a local
+     * enum instead of two virtual calls per access: the dominant
+     * configuration (Berti at L1D, nothing elsewhere) becomes a direct
+     * devirtualized call / no call at all.
+     */
+    enum class PfDispatch : std::uint8_t
+    {
+        None,    //!< NoPrefetcher: skip the hooks entirely
+        Berti,   //!< BertiPrefetcher (final): direct static dispatch
+        Virtual  //!< anything else: classic virtual dispatch
     };
 
     unsigned setIndex(Addr p_line) const { return p_line % cfg.sets; }
@@ -219,6 +243,16 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
     const Line *findLine(Addr p_line) const;
     MshrEntry *findMshr(Addr p_line);
     MshrEntry *allocMshr();
+
+    /** Return an MSHR entry to the free list (waiters must be empty or
+     *  already swapped out; capacity is retained for reuse). */
+    void releaseMshr(MshrEntry *e);
+
+    /** Wake the entry's waiters after releasing it, allocation-free. */
+    void releaseAndWake(MshrEntry *e);
+
+    void notifyAccess(const Prefetcher::AccessInfo &info);
+    void notifyFill(const Prefetcher::FillInfo &info);
 
     void processWrites();
     void processReads();
@@ -265,10 +299,14 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
 
     std::vector<Line> lines;         //!< sets * ways
     std::vector<MshrEntry> mshr;
+    std::vector<unsigned> mshrFree;  //!< free-list of mshr[] indices
     unsigned mshrUsed = 0;
-    std::deque<MemRequest> rq;
-    std::deque<MemRequest> pq;
-    std::deque<Addr> wq;
+    unsigned unsentMshrs = 0;        //!< valid entries with !sentBelow
+    PfDispatch pfDispatch = PfDispatch::None;
+    RingQueue<MemRequest> rq;
+    RingQueue<MemRequest> pq;
+    RingQueue<Addr> wq;
+    std::vector<MemRequest> wakeScratch;  //!< readDone waiter staging
 };
 
 } // namespace berti

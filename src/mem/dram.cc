@@ -8,7 +8,17 @@ namespace berti
 
 Dram::Dram(const DramConfig &config, const Cycle *clock_ptr)
     : cfg(config), clock(clock_ptr), banks(cfg.banks)
-{}
+{
+    // Allocation-free steady state: queue rings at their configured
+    // bounds (wq is soft-capacity, so headroom), and the completion
+    // heap's backing vector pre-reserved past the read-queue bound.
+    rq.reserve(cfg.rqSize);
+    wq.reserve(2 * static_cast<std::size_t>(cfg.wqSize) + 8);
+    std::vector<Completion> backing;
+    backing.reserve(cfg.rqSize + 8);
+    inflight = decltype(inflight)(std::greater<Completion>(),
+                                  std::move(backing));
+}
 
 Addr
 Dram::rowOf(Addr p_line) const
@@ -98,7 +108,7 @@ Dram::scheduleOne()
             }
         }
         Addr p_line = wq[pick];
-        wq.erase(wq.begin() + static_cast<std::ptrdiff_t>(pick));
+        wq.erase(pick);
         accessBank(p_line);
         ++stats.writes;
         return;
@@ -122,7 +132,7 @@ Dram::scheduleOne()
         pick = 0;
 
     MemRequest req = rq[pick];
-    rq.erase(rq.begin() + static_cast<std::ptrdiff_t>(pick));
+    rq.erase(pick);
     Cycle finish = accessBank(req.pLine);
     ++stats.reads;
     if (faults) {
@@ -155,6 +165,27 @@ Dram::tick()
         cfg.tRp + cfg.tRcd + cfg.tCas + 4 * cfg.burstCycles();
     if (busFreeCycle <= *clock + lookahead)
         scheduleOne();
+}
+
+Cycle
+Dram::nextEventCycle() const
+{
+    Cycle next = kNever;
+    if (!inflight.empty())
+        next = std::max(inflight.top().finish, *clock + 1);
+    // A stale drainingWrites flag counts as pending work: scheduleOne
+    // clears it even with empty queues, and skipping that tick would
+    // let the hysteresis state diverge from an unskipped run.
+    if (!rq.empty() || !wq.empty() || drainingWrites) {
+        // The scheduler gate reopens once the bus backlog re-enters the
+        // lookahead window.
+        Cycle lookahead =
+            cfg.tRp + cfg.tRcd + cfg.tCas + 4 * cfg.burstCycles();
+        Cycle gate = busFreeCycle > lookahead ? busFreeCycle - lookahead
+                                              : 0;
+        next = std::min(next, std::max(gate, *clock + 1));
+    }
+    return next;
 }
 
 void

@@ -9,12 +9,12 @@
 #ifndef BERTI_MEM_DRAM_HH
 #define BERTI_MEM_DRAM_HH
 
-#include <deque>
 #include <queue>
 #include <vector>
 
 #include "mem/cache.hh"
 #include "mem/request.hh"
+#include "sim/ring.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -71,6 +71,14 @@ class Dram : public MemLevel
 
     void tick();
 
+    /**
+     * Earliest future cycle at which tick() would do work (kNever when
+     * fully drained). Quiescence cycle-skip input; the bound accounts
+     * for the scheduler's bus lookahead gate so no scheduling decision
+     * is reached late.
+     */
+    Cycle nextEventCycle() const;
+
     bool readQueueEmpty() const { return rq.empty(); }
     std::size_t pendingReads() const { return rq.size() + inflight.size(); }
     std::size_t rqOccupancy() const { return rq.size(); }
@@ -123,8 +131,8 @@ class Dram : public MemLevel
     const Cycle *clock;
     verify::FaultInjector *faults = nullptr;
     std::vector<Bank> banks;
-    std::deque<MemRequest> rq;
-    std::deque<Addr> wq;
+    RingQueue<MemRequest> rq;
+    RingQueue<Addr> wq;
     bool drainingWrites = false;
     Cycle busFreeCycle = 0;
     std::priority_queue<Completion, std::vector<Completion>,

@@ -1,7 +1,8 @@
 #include "obs/event_trace.hh"
 
-#include <cstdlib>
+#include <string>
 
+#include "sim/options.hh"
 #include "verify/sim_error.hh"
 
 namespace berti::obs
@@ -14,21 +15,6 @@ namespace
 fail(const std::string &reason)
 {
     throw verify::SimError(verify::ErrorKind::Config, "obs", reason);
-}
-
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *raw = std::getenv(name);
-    if (!raw || !*raw)
-        return fallback;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(raw, &end, 10);
-    if (!end || *end != '\0' || v == 0) {
-        fail(std::string(name) + "=\"" + raw +
-             "\" is not a positive integer");
-    }
-    return static_cast<std::uint64_t>(v);
 }
 
 } // namespace
@@ -51,12 +37,15 @@ pfEventName(PfEvent e)
 TraceConfig
 TraceConfig::fromEnv()
 {
+    return fromOptions(sim::SimOptions::fromEnv());
+}
+
+TraceConfig
+TraceConfig::fromOptions(const sim::SimOptions &opt)
+{
     TraceConfig cfg;
-    if (std::getenv("BERTI_OBS_PFTRACE"))
-        cfg.capacity =
-            static_cast<std::size_t>(envU64("BERTI_OBS_PFTRACE", 0));
-    cfg.samplePeriod =
-        envU64("BERTI_OBS_PFTRACE_PERIOD", cfg.samplePeriod);
+    cfg.capacity = opt.pfTraceCapacity;
+    cfg.samplePeriod = opt.pfTracePeriod;
     return cfg;
 }
 

@@ -17,6 +17,11 @@
 
 #include "sim/types.hh"
 
+namespace berti::sim
+{
+struct SimOptions;
+} // namespace berti::sim
+
 namespace berti::obs
 {
 
@@ -51,6 +56,9 @@ struct TraceConfig
      * malformed value throws verify::SimError(ErrorKind::Config).
      */
     static TraceConfig fromEnv();
+
+    /** The same knobs taken from an already-parsed options value. */
+    static TraceConfig fromOptions(const sim::SimOptions &opt);
 };
 
 /** One recorded prefetch event. */

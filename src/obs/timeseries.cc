@@ -1,7 +1,6 @@
 #include "obs/timeseries.hh"
 
-#include <cstdlib>
-
+#include "sim/options.hh"
 #include "verify/sim_error.hh"
 
 namespace berti::obs
@@ -16,32 +15,20 @@ fail(const std::string &reason)
     throw verify::SimError(verify::ErrorKind::Config, "obs", reason);
 }
 
-/** Strict positive-integer env parse; unset returns fallback. */
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *raw = std::getenv(name);
-    if (!raw || !*raw)
-        return fallback;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(raw, &end, 10);
-    if (!end || *end != '\0' || v == 0) {
-        fail(std::string(name) + "=\"" + raw +
-             "\" is not a positive integer");
-    }
-    return static_cast<std::uint64_t>(v);
-}
-
 } // namespace
 
 SamplerConfig
 SamplerConfig::fromEnv()
 {
+    return fromOptions(sim::SimOptions::fromEnv());
+}
+
+SamplerConfig
+SamplerConfig::fromOptions(const sim::SimOptions &opt)
+{
     SamplerConfig cfg;
-    if (std::getenv("BERTI_OBS_INTERVAL"))
-        cfg.interval = envU64("BERTI_OBS_INTERVAL", 0);
-    cfg.capacity =
-        static_cast<std::size_t>(envU64("BERTI_OBS_RING", cfg.capacity));
+    cfg.interval = opt.obsInterval;
+    cfg.capacity = opt.obsRing;
     return cfg;
 }
 

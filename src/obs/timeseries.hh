@@ -20,6 +20,11 @@
 
 #include "obs/metrics.hh"
 
+namespace berti::sim
+{
+struct SimOptions;
+} // namespace berti::sim
+
 namespace berti::obs
 {
 
@@ -39,6 +44,9 @@ struct SamplerConfig
      * verify::SimError(ErrorKind::Config), like BERTI_JOBS.
      */
     static SamplerConfig fromEnv();
+
+    /** The same knobs taken from an already-parsed options value. */
+    static SamplerConfig fromOptions(const sim::SimOptions &opt);
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "sim/options.hh"
 #include "trace/trace_io.hh"
 #include "verify/sim_error.hh"
 
@@ -298,27 +299,20 @@ loadArtifact(const std::string &path)
 std::uint64_t
 testSeed(std::uint64_t fallback)
 {
-    const char *env = std::getenv("BERTI_TEST_SEED");
-    if (!env || !*env)
-        return fallback;
-    return std::strtoull(env, nullptr, 0);
+    sim::SimOptions opt = sim::SimOptions::fromEnv();
+    return opt.hasTestSeed ? opt.testSeed : fallback;
 }
 
 unsigned
 propertyIterations(unsigned base)
 {
-    const char *env = std::getenv("BERTI_PROP_ITERS");
-    if (!env || !*env)
-        return base;
-    unsigned long mult = std::strtoul(env, nullptr, 10);
-    return base * static_cast<unsigned>(mult < 1 ? 1 : mult);
+    return base * sim::SimOptions::fromEnv().propIterMultiplier;
 }
 
 std::string
 artifactDir()
 {
-    const char *env = std::getenv("BERTI_ARTIFACT_DIR");
-    return env && *env ? env : ".";
+    return sim::SimOptions::fromEnv().artifactDir;
 }
 
 } // namespace berti::oracle

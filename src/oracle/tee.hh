@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "prefetch/prefetcher.hh"
+#include "prefetch/registry.hh"
 #include "sim/types.hh"
 
 namespace berti::oracle
@@ -134,6 +135,24 @@ class TeePrefetcher : public Prefetcher, public PrefetchPort
     TeeLog *log;
     bool innerBound = false;
 };
+
+/**
+ * Registry decorator: wrap any prefetcher factory so every instance it
+ * builds records into *log. The usual wiring is one line:
+ *
+ *     cfg.l1dPrefetcher = oracle::teeFactory(prefetch::make("berti"),
+ *                                            &log);
+ *
+ * The log must outlive every Machine built from the factory.
+ */
+inline prefetch::Factory
+teeFactory(prefetch::Factory inner, TeeLog *log)
+{
+    return prefetch::decorate(
+        std::move(inner), [log](std::unique_ptr<Prefetcher> pf) {
+            return std::make_unique<TeePrefetcher>(std::move(pf), log);
+        });
+}
 
 } // namespace berti::oracle
 

@@ -92,7 +92,16 @@ class Prefetcher
     virtual void onAccess(const AccessInfo &info) = 0;
     virtual void onFill(const FillInfo &) {}
 
-    /** Advance one cycle; most prefetchers are purely reactive. */
+    /**
+     * Advance one cycle; most prefetchers are purely reactive.
+     *
+     * Contract: tick() must not rely on being called every cycle. The
+     * host cache only drives it for prefetchers it cannot identify
+     * statically (Cache::PfDispatch::Virtual), and the machine's
+     * quiescence cycle-skip elides provably idle cycles entirely. A
+     * design that needs per-cycle work must derive its timing from the
+     * port clock (now()) inside its hooks, not from tick() counts.
+     */
     virtual void tick() {}
 
     /** Hardware budget in bits, for the Table I / Figure 7 axes. */

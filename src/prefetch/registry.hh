@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Prefetcher registry: the one place that maps stable spec names
+ * ("berti", "ip-stride", "spp-ppf", …) to factories. Every consumer —
+ * the experiment harness, benches, tests — resolves names here, so a
+ * new prefetcher becomes available everywhere by adding one entry, and
+ * an unknown name fails the same typed way everywhere
+ * (verify::SimError(ErrorKind::Config), component "prefetch").
+ *
+ * decorate() composes wrappers over registered factories without the
+ * call sites knowing the concrete types; the differential oracle's
+ * TeePrefetcher wrap (oracle::teeFactory) is built on it.
+ */
+
+#ifndef BERTI_PREFETCH_REGISTRY_HH
+#define BERTI_PREFETCH_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "prefetch/prefetcher.hh"
+
+namespace berti::sim
+{
+struct SimOptions;
+} // namespace berti::sim
+
+namespace berti::prefetch
+{
+
+/** Same signature as harness PrefetcherFactory; null means "none". */
+using Factory = std::function<std::unique_ptr<Prefetcher>()>;
+
+/** Wrapper step for decorate(): consumes the inner, returns the outer. */
+using Decorator =
+    std::function<std::unique_ptr<Prefetcher>(std::unique_ptr<Prefetcher>)>;
+
+/** Stable spec names in registration order, "none" first. */
+const std::vector<std::string> &names();
+
+/** True when make(name) would succeed (includes "none" and ""). */
+bool known(const std::string &name);
+
+/**
+ * Resolve a stable spec name to a factory. "none" (or an empty name)
+ * returns a null factory, matching the harness convention that a null
+ * PrefetcherFactory means no prefetcher at that level. Unknown names
+ * throw verify::SimError(ErrorKind::Config, "prefetch", ...) listing
+ * the valid names.
+ */
+Factory make(const std::string &name);
+
+/**
+ * Options-aware resolution: the registry is where per-prefetcher
+ * tuning from SimOptions would be applied; today no knob reshapes a
+ * prefetcher, so this forwards to make(name) after validation. Bench
+ * and harness code should prefer this overload so future knobs take
+ * effect without call-site changes.
+ */
+Factory make(const std::string &name, const sim::SimOptions &opt);
+
+/**
+ * Wrap a factory: every prefetcher the returned factory builds is
+ * passed through wrap. A null inner factory stays null (there is no
+ * prefetcher to wrap at that level).
+ */
+Factory decorate(Factory inner, Decorator wrap);
+
+} // namespace berti::prefetch
+
+#endif // BERTI_PREFETCH_REGISTRY_HH

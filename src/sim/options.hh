@@ -1,0 +1,112 @@
+/**
+ * @file
+ * SimOptions: the single typed configuration surface of the simulator
+ * harness. Every runtime knob that used to be a scattered
+ * getenv("BERTI_*") call site is parsed here, once, with validation
+ * (malformed values throw verify::SimError(ErrorKind::Config)), and
+ * threaded through Machine / Experiment / the bench harness as a value.
+ *
+ * The environment variable names are the stable public interface —
+ * fromEnv() keeps every historical BERTI_* name working so existing
+ * scripts and CI recipes do not break — and applyFlag() layers optional
+ * command-line overrides on top for the bench binaries.
+ *
+ * Consumers that need subsystem config structs derive them from an
+ * options value: obs::SamplerConfig::fromOptions(opt),
+ * obs::TraceConfig::fromOptions(opt), verify::AuditConfig::fromOptions
+ * (each declared next to its struct so this header stays dependency-
+ * free).
+ */
+
+#ifndef BERTI_SIM_OPTIONS_HH
+#define BERTI_SIM_OPTIONS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace berti::sim
+{
+
+struct SimOptions
+{
+    // ------------------------------------------------ parallel runner
+    /** Worker pool size (BERTI_JOBS); 0 = all hardware threads. */
+    unsigned jobs = 0;
+
+    // ------------------------------------------------ simulator speed
+    /**
+     * Quiescence cycle-skip (BERTI_CYCLE_SKIP; "0" disables): when
+     * every queue, MSHR and core in the machine is provably idle until
+     * a known future cycle, Machine::run fast-forwards the clock there
+     * instead of ticking empty structures. Simulated results are
+     * bit-identical either way (see ARCHITECTURE.md, "Performance");
+     * the toggle exists for differential tests and debugging.
+     */
+    bool cycleSkip = true;
+
+    // ------------------------------------------------- observability
+    /** Interval time-series: instructions/sample (BERTI_OBS_INTERVAL);
+     *  0 disables sampling. */
+    std::uint64_t obsInterval = 0;
+    /** Interval time-series ring capacity (BERTI_OBS_RING). */
+    std::size_t obsRing = 1024;
+    /** Prefetch event trace ring capacity (BERTI_OBS_PFTRACE);
+     *  0 disables tracing. */
+    std::size_t pfTraceCapacity = 0;
+    /** Record every Nth prefetch event (BERTI_OBS_PFTRACE_PERIOD). */
+    std::uint64_t pfTracePeriod = 1;
+    /** Bench stats sidecar directory (BERTI_STATS_DIR); empty = off. */
+    std::string statsDir;
+
+    // ----------------------------------------------------- hardening
+    /** Invariant auditing on every Machine (BERTI_VERIFY). */
+    bool verify = false;
+    /** Cycles between full invariant checks (BERTI_VERIFY_INTERVAL). */
+    Cycle verifyInterval = 4096;
+
+    // ------------------------------------------------- bench harness
+    /** Smoke-size bench regions of interest (BERTI_BENCH_QUICK=1). */
+    bool benchQuick = false;
+
+    // -------------------------------------------------- test harness
+    /** Rewrite golden stats instead of comparing
+     *  (BERTI_UPDATE_GOLDENS=1). */
+    bool updateGoldens = false;
+    /** Property-test seed override (BERTI_TEST_SEED); valid only when
+     *  hasTestSeed. */
+    std::uint64_t testSeed = 0;
+    bool hasTestSeed = false;
+    /** Property-test iteration multiplier (BERTI_PROP_ITERS). */
+    unsigned propIterMultiplier = 1;
+    /** Shrunk-artifact output directory (BERTI_ARTIFACT_DIR). */
+    std::string artifactDir = ".";
+
+    /**
+     * Parse every knob from the environment. Malformed values throw
+     * verify::SimError(ErrorKind::Config) naming the offending
+     * variable. Unset variables keep the documented defaults above.
+     */
+    static SimOptions fromEnv();
+
+    /**
+     * Environment plus command-line overrides: any argv entry that
+     * applyFlag() recognises is consumed; everything else is left for
+     * the caller (argc/argv are compacted in place).
+     */
+    static SimOptions fromEnvAndArgs(int &argc, char **argv);
+
+    /**
+     * Apply one "--key[=value]" override on top of the current values.
+     * Recognised: --jobs=N, --quick, --no-cycle-skip, --cycle-skip,
+     * --stats-dir=DIR, --verify. @return false when the flag is not a
+     * SimOptions flag (caller keeps it); malformed values throw
+     * verify::SimError(ErrorKind::Config).
+     */
+    bool applyFlag(const std::string &arg);
+};
+
+} // namespace berti::sim
+
+#endif // BERTI_SIM_OPTIONS_HH

@@ -22,6 +22,9 @@ using Cycle = std::uint64_t;
 /** Sentinel for "no address". */
 constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
 
+/** Sentinel for "no scheduled event" (quiescence cycle-skip). */
+constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
+
 /** Cache line geometry: 64-byte lines. */
 constexpr unsigned kLineBits = 6;
 constexpr unsigned kLineSize = 1u << kLineBits;

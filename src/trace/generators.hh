@@ -10,9 +10,9 @@
 #define BERTI_TRACE_GENERATORS_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "sim/ring.hh"
 #include "sim/rng.hh"
 #include "trace/instr.hh"
 
@@ -37,7 +37,7 @@ class QueuedGen : public TraceGenerator
     void emitStore(Addr ip, Addr vaddr);
     void emitBranch(Addr ip, bool taken);
 
-    std::deque<TraceInstr> queue;
+    RingQueue<TraceInstr> queue;
 };
 
 /**

@@ -5,6 +5,7 @@
 #include "cpu/core.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
+#include "sim/options.hh"
 #include "vm/tlb.hh"
 
 namespace berti::verify
@@ -13,15 +14,15 @@ namespace berti::verify
 AuditConfig
 AuditConfig::fromEnv()
 {
+    return fromOptions(sim::SimOptions::fromEnv());
+}
+
+AuditConfig
+AuditConfig::fromOptions(const sim::SimOptions &opt)
+{
     AuditConfig cfg;
-    const char *on = std::getenv("BERTI_VERIFY");
-    cfg.enabled = on && *on && std::string(on) != "0";
-    if (const char *interval = std::getenv("BERTI_VERIFY_INTERVAL")) {
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(interval, &end, 10);
-        if (end && *end == '\0' && v > 0)
-            cfg.interval = static_cast<Cycle>(v);
-    }
+    cfg.enabled = opt.verify;
+    cfg.interval = opt.verifyInterval;
     return cfg;
 }
 
@@ -92,10 +93,13 @@ SimAuditor::checkCache(const Cache &cache) const
 
     // ------------------------------------------------ MSHR bookkeeping
     unsigned valid = 0;
+    unsigned unsent = 0;
     for (const auto &e : cache.mshr) {
         if (!e.valid)
             continue;
         ++valid;
+        if (!e.sentBelow)
+            ++unsent;
         if (e.pLine == kNoAddr)
             fail(name, "valid MSHR entry with no line address");
         Cycle age = *clock >= e.ts ? *clock - e.ts : 0;
@@ -113,6 +117,32 @@ SimAuditor::checkCache(const Cache &cache) const
                        std::to_string(cache.mshrUsed) + " != " +
                        std::to_string(valid) + " valid entries");
     }
+
+    // -------------------------------------------- MSHR arena free-list
+    // The free-list and the valid bits must partition the arena: a live
+    // entry on the free-list would be recycled while a response is
+    // still in flight.
+    if (cache.mshrFree.size() != ccfg.mshrs - cache.mshrUsed) {
+        fail(name, "MSHR free-list holds " +
+                       std::to_string(cache.mshrFree.size()) +
+                       " entries; expected " +
+                       std::to_string(ccfg.mshrs - cache.mshrUsed));
+    }
+    for (unsigned idx : cache.mshrFree) {
+        if (idx >= ccfg.mshrs)
+            fail(name, "MSHR free-list index " + std::to_string(idx) +
+                           " out of range");
+        if (cache.mshr[idx].valid)
+            fail(name, "live MSHR entry " + std::to_string(idx) +
+                           " present on the free-list (would be "
+                           "recycled under an in-flight response)");
+    }
+    if (cache.unsentMshrs != unsent)
+        fail(name, "unsent-MSHR count " +
+                       std::to_string(cache.unsentMshrs) + " != " +
+                       std::to_string(unsent) +
+                       " valid entries awaiting a lower-level slot "
+                       "(retry scheduling would stall or spin)");
 
     // ------------------------------------------------- queue occupancy
     if (cache.rq.size() > ccfg.rqSize)

@@ -42,6 +42,11 @@ class Tlb;
 class TranslationUnit;
 } // namespace berti
 
+namespace berti::sim
+{
+struct SimOptions;
+} // namespace berti::sim
+
 namespace berti::verify
 {
 
@@ -57,6 +62,9 @@ struct AuditConfig
      * BERTI_VERIFY_INTERVAL overrides the check interval.
      */
     static AuditConfig fromEnv();
+
+    /** The same knobs taken from an already-parsed options value. */
+    static AuditConfig fromOptions(const sim::SimOptions &opt);
 };
 
 class SimAuditor
@@ -75,6 +83,13 @@ class SimAuditor
 
     /** Run a full check immediately; throws SimError on violation. */
     void checkNow() const;
+
+    /**
+     * Cycle of the next interval check. Quiescence cycle-skip bound:
+     * the auditor's clock-sensitive checks (MSHR-age leaks) must fire
+     * at exactly the cycles they would without skipping.
+     */
+    Cycle nextCheckCycle() const { return lastCheck + cfg.interval; }
 
     std::uint64_t checksRun() const { return checks; }
 

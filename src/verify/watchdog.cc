@@ -1,5 +1,7 @@
 #include "verify/watchdog.hh"
 
+#include <algorithm>
+
 namespace berti::verify
 {
 
@@ -48,6 +50,19 @@ ProgressWatchdog::stalledFor(unsigned core) const
     if (core >= tracks.size())
         return 0;
     return *clock - tracks[core].lastProgress;
+}
+
+Cycle
+ProgressWatchdog::nextDeadline() const
+{
+    if (!cfg.enabled || tracks.empty())
+        return kNever;
+    Cycle oldest = kNever;
+    for (const Track &t : tracks)
+        oldest = std::min(oldest, t.lastProgress);
+    // stalledCore fires when *clock - lastProgress > stallCycles, i.e.
+    // first at lastProgress + stallCycles + 1.
+    return oldest + cfg.stallCycles + 1;
 }
 
 } // namespace berti::verify

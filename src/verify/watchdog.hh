@@ -60,6 +60,14 @@ class ProgressWatchdog
     /** Cycles since the given core last made progress. */
     Cycle stalledFor(unsigned core) const;
 
+    /**
+     * Earliest cycle at which any core could newly count as wedged if
+     * nothing progresses. Quiescence cycle-skip bound: skipping past it
+     * would delay (or even cycle-shift) a watchdog failure, changing
+     * observable behavior. kNever when untracked or disabled.
+     */
+    Cycle nextDeadline() const;
+
     bool enabled() const { return cfg.enabled; }
     Cycle threshold() const { return cfg.stallCycles; }
 

@@ -410,10 +410,7 @@ TEST(BertiDifferential, TeeInsideMachineMatchesReference)
     // sequence must match exactly.
     oracle::TeeLog log;
     MachineConfig cfg = MachineConfig::sunnyCove(1);
-    cfg.l1dPrefetcher = [&log] {
-        return std::make_unique<oracle::TeePrefetcher>(
-            std::make_unique<BertiPrefetcher>(), &log);
-    };
+    cfg.l1dPrefetcher = oracle::teeFactory(prefetch::make("berti"), &log);
 
     StreamGen::Params sp;
     sp.streams = 4;

@@ -51,7 +51,7 @@ TEST(Spec, UnknownNameThrowsTypedError)
         FAIL() << "expected verify::SimError";
     } catch (const verify::SimError &e) {
         EXPECT_EQ(e.kind(), verify::ErrorKind::Config);
-        EXPECT_EQ(e.component(), "experiment");
+        EXPECT_EQ(e.component(), "prefetch");
         EXPECT_NE(e.reason().find("quantum-oracle"), std::string::npos);
     }
 }

@@ -19,6 +19,7 @@
 
 #include "harness/experiment.hh"
 #include "obs/export.hh"
+#include "sim/options.hh"
 #include "trace/registry.hh"
 #include "verify/sim_error.hh"
 
@@ -61,8 +62,7 @@ goldenPath(const std::string &workload, const std::string &spec)
 bool
 updateMode()
 {
-    const char *v = std::getenv("BERTI_UPDATE_GOLDENS");
-    return v && v[0] == '1';
+    return berti::sim::SimOptions::fromEnv().updateGoldens;
 }
 
 class GoldenTest : public ::testing::TestWithParam<
