@@ -55,6 +55,14 @@ writeStatsSidecars(const std::vector<Workload> &workloads,
     const std::string dir = sim::SimOptions::fromEnv().statsDir;
     if (dir.empty())
         return;
+    // A bench killed mid-write leaves a *.json.tmp staging file behind
+    // (writeFile renames only on success); sweep them before writing so
+    // the sidecar directory holds nothing but complete documents.
+    std::size_t stale = obs::removeStaleTempFiles(dir);
+    if (stale > 0) {
+        std::cerr << "stats: removed " << stale
+                  << " stale .tmp file(s) from " << dir << "\n";
+    }
     std::map<std::string, unsigned> used;
     for (std::size_t s = 0; s < specs.size(); ++s) {
         for (std::size_t w = 0; w < workloads.size(); ++w) {

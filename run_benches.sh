@@ -15,6 +15,11 @@ BERTI_JOBS="${BERTI_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 export BERTI_JOBS
 
 mkdir -p results results/log
+# Sweep staging files left by a previous invocation that was killed
+# mid-write (both the script's own .txt.tmp files and the atomic-write
+# .json.tmp files under results/stats/). Completed outputs never carry
+# the .tmp suffix, so this only ever removes torn partials.
+find results -name '*.tmp' -type f -exec rm -f {} + 2>/dev/null
 failed=""
 for b in build/bench/*; do
     n=$(basename "$b")

@@ -1,5 +1,7 @@
 #include "cpu/branch_predictor.hh"
 
+#include "sim/serialize.hh"
+
 namespace berti
 {
 
@@ -54,6 +56,27 @@ BranchPredictor::update(Addr ip, bool taken)
         }
     }
     history = (history << 1) | (taken ? 1 : 0);
+}
+
+void
+BranchPredictor::saveState(sim::ByteWriter &w) const
+{
+    w.u64(history);
+    w.u32(static_cast<std::uint32_t>(weights.size()));
+    w.bytes(weights.data(), weights.size());
+}
+
+void
+BranchPredictor::loadState(sim::ByteReader &r)
+{
+    history = r.u64();
+    std::uint32_t n = r.u32();
+    if (n != weights.size()) {
+        r.fail("branch predictor weight count " + std::to_string(n) +
+               " does not match the live predictor's " +
+               std::to_string(weights.size()));
+    }
+    r.bytes(weights.data(), weights.size());
 }
 
 } // namespace berti

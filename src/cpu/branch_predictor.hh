@@ -17,6 +17,12 @@
 namespace berti
 {
 
+namespace sim
+{
+class ByteWriter;
+class ByteReader;
+} // namespace sim
+
 class BranchPredictor
 {
   public:
@@ -36,6 +42,10 @@ class BranchPredictor
 
     /** Train with the actual outcome and shift the global history. */
     void update(Addr ip, bool taken);
+
+    /** Checkpoint hooks: global history + all weight tables. */
+    void saveState(sim::ByteWriter &w) const;
+    void loadState(sim::ByteReader &r);
 
   private:
     int sum(Addr ip) const;

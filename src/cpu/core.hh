@@ -97,6 +97,22 @@ class Core : public ReadClient
         return outstandingLoads.size();
     }
 
+    /**
+     * Dynamic instructions pulled from the trace generator so far.
+     * Resume replays the (deterministic) generator exactly this many
+     * times to re-synchronise its position: fetch() draws one
+     * instruction per allocated id, so the count is nextInstrId - 1.
+     */
+    std::uint64_t fetchedInstructions() const { return nextInstrId - 1; }
+
+    /**
+     * Checkpoint hooks: stats, branch predictor, iTLB, ROB, fetch
+     * buffer, pending accesses and the in-flight bookkeeping. The trace
+     * generator itself is NOT serialized — see fetchedInstructions().
+     */
+    void saveState(sim::ByteWriter &w, const sim::PtrMap &clients) const;
+    void loadState(sim::ByteReader &r, const sim::PtrMap &clients);
+
     CoreStats stats;
 
   private:

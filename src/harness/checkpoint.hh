@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Checkpoint file format constants. The serialization itself lives in
+ * Machine::saveCheckpointBlob / resumeFromBlob (checkpoint.cc); the
+ * layout and versioning rules are documented in ARCHITECTURE.md,
+ * "Crash safety & resume".
+ *
+ * Blob layout (everything little-endian, fixed width):
+ *
+ *   u64  magic            "BERTICKP"
+ *   u32  format version   kCheckpointVersion
+ *   u64  config fingerprint (Machine::configFingerprint())
+ *   u32  core count
+ *   ...  payload          per-component sections with sanity tags
+ *   u64  FNV-1a-64 checksum over every preceding byte
+ *
+ * The checksum is verified before any payload field is parsed, so a
+ * torn or bit-flipped checkpoint is rejected as a whole — partially
+ * applying a corrupt checkpoint is impossible by construction.
+ *
+ * Versioning rule: ANY change to the payload layout — a new field, a
+ * reordered section, a widened counter — bumps kCheckpointVersion.
+ * There is deliberately no cross-version migration: checkpoints are
+ * short-lived crash-recovery artefacts, not archival data, and a
+ * version mismatch throws a typed error telling the caller to re-run.
+ */
+
+#ifndef BERTI_HARNESS_CHECKPOINT_HH
+#define BERTI_HARNESS_CHECKPOINT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace berti::harness
+{
+
+/** "BERTICKP" read as a little-endian u64. */
+constexpr std::uint64_t kCheckpointMagic = 0x504b434954524542ull;
+
+/** Current checkpoint format version; bump on any layout change. */
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+/** Bytes of header before the payload (magic + version + fingerprint
+ *  + core count) and of the trailing checksum. */
+constexpr std::size_t kCheckpointHeaderBytes = 8 + 4 + 8 + 4;
+constexpr std::size_t kCheckpointChecksumBytes = 8;
+
+} // namespace berti::harness
+
+#endif // BERTI_HARNESS_CHECKPOINT_HH

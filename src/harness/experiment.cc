@@ -62,6 +62,20 @@ resultSnapshot(const SimResult &result)
 }
 
 SimResult
+resultFromSnapshot(const obs::MetricsSnapshot &snap)
+{
+    SimResult r;
+    visitRunStatsCounters(r.roi,
+                          [&snap](const std::string &name,
+                                  std::uint64_t &value) {
+                              value = snap.counter(name);
+                          });
+    r.ipc = r.roi.core.ipc();
+    r.energy = EnergyModel{}.evaluate(r.roi);
+    return r;
+}
+
+SimResult
 simulate(const Workload &workload, const PrefetcherSpec &spec,
          const SimParams &params)
 {
@@ -73,6 +87,7 @@ simulate(const Workload &workload, const PrefetcherSpec &spec,
     if (params.forceAudit)
         cfg.audit.enabled = true;
     cfg.faults = params.faults;
+    cfg.wallClockBudgetMs = params.wallClockBudgetMs;
 
     Machine machine(cfg, {gen.get()});
     machine.run(params.warmupInstructions);
@@ -99,6 +114,7 @@ simulateMix(const std::vector<Workload> &mix, const PrefetcherSpec &spec,
     if (params.forceAudit)
         cfg.audit.enabled = true;
     cfg.faults = params.faults;
+    cfg.wallClockBudgetMs = params.wallClockBudgetMs;
 
     std::vector<std::unique_ptr<TraceGenerator>> gens;
     std::vector<TraceGenerator *> gen_ptrs;

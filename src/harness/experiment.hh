@@ -67,6 +67,12 @@ struct SimParams
 
     /** Optional fault injection; must outlive the simulation call. */
     verify::FaultInjector *faults = nullptr;
+
+    /** Wall-clock budget per simulation, in milliseconds (0 = none).
+     *  Exceeding it throws verify::SimError(ErrorKind::Timeout); the
+     *  supervised sweep turns that into a quarantined cell instead of a
+     *  hung matrix. */
+    std::uint64_t wallClockBudgetMs = 0;
 };
 
 /**
@@ -76,6 +82,16 @@ struct SimParams
  * identical simulations regardless of BERTI_JOBS.
  */
 obs::MetricsSnapshot resultSnapshot(const SimResult &result);
+
+/**
+ * Inverse of resultSnapshot: rebuild a SimResult from its flat export.
+ * Every ROI counter is copied back and the derived values (ipc, energy)
+ * are recomputed from the ROI — both are pure functions of the
+ * counters, so resultSnapshot(resultFromSnapshot(s)) == s bit-for-bit.
+ * This is what lets the result store hand back cached cells that are
+ * indistinguishable from freshly simulated ones.
+ */
+SimResult resultFromSnapshot(const obs::MetricsSnapshot &snap);
 
 /** Run one workload on the Table II machine with the given spec. */
 SimResult simulate(const Workload &workload, const PrefetcherSpec &spec,

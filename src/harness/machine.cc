@@ -79,7 +79,9 @@ MachineConfig::applyOptions(const sim::SimOptions &opt)
 
 Machine::Machine(const MachineConfig &config,
                  std::vector<TraceGenerator *> generators)
-    : cfg(config), watchdog(cfg.watchdog, &clock)
+    : cfg(config), gens(generators),
+      bornAt(std::chrono::steady_clock::now()),
+      watchdog(cfg.watchdog, &clock)
 {
     // Always-on configuration validation (replaces release-invisible
     // asserts): every structural mistake fails loudly, typed, at
@@ -296,6 +298,27 @@ Machine::run(std::uint64_t target_instructions)
         int wedged = watchdog.stalledCore();
         if (wedged >= 0)
             failWedged(static_cast<unsigned>(wedged));
+
+        // Wall-clock deadline, probed every 16384 iterations so the
+        // steady_clock read stays off the hot path. Purely an observer:
+        // enabling a budget cannot change simulated behaviour, only cut
+        // a run short with a typed, diagnosable error.
+        if (cfg.wallClockBudgetMs > 0 && (++deadlineProbe & 0x3FFF) == 0) {
+            auto elapsed =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - bornAt)
+                    .count();
+            if (static_cast<std::uint64_t>(elapsed) >=
+                cfg.wallClockBudgetMs) {
+                throw verify::SimError(
+                    verify::ErrorKind::Timeout, "Machine",
+                    "wall-clock budget of " +
+                        std::to_string(cfg.wallClockBudgetMs) +
+                        " ms exhausted after " + std::to_string(elapsed) +
+                        " ms at cycle " + std::to_string(clock),
+                    {}, 0, diagnostic());
+            }
+        }
         if (sampler)
             sampler->maybeSample(nodes[0]->cpu->stats.instructions,
                                  clock);

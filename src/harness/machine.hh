@@ -8,8 +8,10 @@
 #ifndef BERTI_HARNESS_MACHINE_HH
 #define BERTI_HARNESS_MACHINE_HH
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/core.hh"
@@ -69,6 +71,17 @@ struct MachineConfig
     verify::WatchdogConfig watchdog;
     /** Optional fault injection; must outlive the Machine. */
     verify::FaultInjector *faults = nullptr;
+
+    /**
+     * Wall-clock budget for the whole Machine lifetime, in milliseconds
+     * (0 = unlimited). When set, run() probes the elapsed real time
+     * every few thousand cycles and throws
+     * verify::SimError(ErrorKind::Timeout) once the budget is spent —
+     * the supervised-sweep deadline mechanism (see
+     * harness/supervisor.hh). The probe period is a power-of-two cycle
+     * count, so enabling a budget never perturbs simulated behaviour.
+     */
+    std::uint64_t wallClockBudgetMs = 0;
 
     /**
      * The paper's baseline system (Table II): 352-entry ROB 6-issue
@@ -166,6 +179,56 @@ class Machine
 
     Cycle cycle() const { return clock; }
 
+    // ------------------------------------------------------ checkpoints
+    // Implemented in harness/checkpoint.cc; see ARCHITECTURE.md, "Crash
+    // safety & resume" for the blob format and versioning rules.
+
+    /**
+     * Whether this machine can be checkpointed: every attached
+     * prefetcher must support state serialization and fault injection
+     * must be off (the injector's RNG is owned by the caller and not
+     * restorable). When it returns false and `why` is non-null, `why`
+     * receives the blocking reason.
+     */
+    bool checkpointSupported(std::string *why = nullptr) const;
+
+    /**
+     * Configuration fingerprint folded into every checkpoint header:
+     * core count, cache geometries, DRAM/TLB parameters and attached
+     * prefetcher names. Resuming on a machine with a different
+     * fingerprint throws — a checkpoint is only meaningful on the
+     * topology that wrote it.
+     */
+    std::uint64_t configFingerprint() const;
+
+    /**
+     * Serialize the complete architectural + statistics state into a
+     * self-validating versioned blob (magic, format version, config
+     * fingerprint, payload, FNV-1a-64 checksum). Deterministic: the
+     * same machine state always yields byte-identical blobs, and a
+     * restored machine re-serializes to the same bytes.
+     */
+    std::string saveCheckpointBlob() const;
+
+    /** saveCheckpointBlob() written atomically (temp file + rename). */
+    void saveCheckpoint(const std::string &path) const;
+
+    /**
+     * Restore a blob into this machine. The machine must be *pristine*
+     * (freshly constructed, never run) and built with the same
+     * configuration and equivalent trace generators as the saver: the
+     * generators are not serialized, they are replayed (deterministic
+     * streams) to re-synchronise their positions. Throws
+     * verify::SimError(ErrorKind::Checkpoint) on a truncated, corrupt,
+     * version- or config-incompatible blob, leaving no partial state
+     * applied before validation completes. Runs a full auditor pass
+     * after restore when auditing is enabled.
+     */
+    void resumeFromBlob(const std::string &blob);
+
+    /** resumeFromBlob() on the contents of `path`. */
+    void resumeFrom(const std::string &path);
+
     /** Cycles fast-forwarded by the quiescence skip in run() so far
      *  (0 when cfg.cycleSkip is off). Simulated time is unaffected —
      *  this is purely a wall-time diagnostic for the perf harness. */
@@ -192,6 +255,11 @@ class Machine
 
     MachineConfig cfg;
     Cycle clock = 0;
+    /** Generators, retained for checkpoint-resume replay. */
+    std::vector<TraceGenerator *> gens;
+    /** Construction time, the wall-clock deadline's epoch. */
+    std::chrono::steady_clock::time_point bornAt;
+    std::uint64_t deadlineProbe = 0;
     // Declared before the components so it outlives none of them while
     // they register; it stores raw pointers into them, never owning.
     obs::MetricsRegistry metricsReg;
@@ -232,6 +300,11 @@ class Machine
     void registerAllMetrics();
 
     [[noreturn]] void failWedged(unsigned core_id);
+
+    // Checkpoint internals (harness/checkpoint.cc).
+    sim::PtrMap clientMap() const;
+    void savePayload(sim::ByteWriter &w, const sim::PtrMap &clients) const;
+    void loadPayload(sim::ByteReader &r, const sim::PtrMap &clients);
 };
 
 } // namespace berti

@@ -1,0 +1,183 @@
+#include "harness/supervisor.hh"
+
+#include <chrono>
+#include <thread>
+
+namespace berti::harness
+{
+
+namespace
+{
+
+std::uint64_t
+backoffForAttempt(const SupervisorConfig &cfg, unsigned attempt)
+{
+    // Backoff before retry `attempt` (2-based: no wait before the
+    // first attempt): base << (attempt - 2), capped.
+    std::uint64_t shift = attempt - 2;
+    if (shift >= 63)
+        return cfg.backoffMaxMs;
+    std::uint64_t ms = cfg.backoffBaseMs << shift;
+    return ms > cfg.backoffMaxMs ? cfg.backoffMaxMs : ms;
+}
+
+void
+recordError(CellResult &cell, const verify::SimError &e)
+{
+    cell.error.has = true;
+    cell.error.kind = e.kind();
+    cell.error.component = e.component();
+    cell.error.reason = e.reason();
+}
+
+/** Run one cell through the supervisor state machine. */
+CellResult
+superviseCell(const Workload &workload, const PrefetcherSpec &spec,
+              const SimParams &params, const SupervisorConfig &cfg)
+{
+    CellResult cell;
+    cell.workload = workload.name;
+    cell.spec = spec.name;
+
+    StoreKey key = makeStoreKey(workload.name, spec.name, params);
+
+    if (cfg.store) {
+        auto quarantine = cfg.store->loadQuarantine(key);
+        if (quarantine) {
+            if (!cfg.rerunFailed) {
+                cell.outcome = CellOutcome::SkippedQuarantined;
+                cell.error.has = true;
+                cell.error.kind = verify::ErrorKind::Worker;
+                cell.error.component = "Supervisor";
+                cell.error.reason = "quarantined by an earlier sweep: " +
+                                    *quarantine;
+                return cell;
+            }
+            cfg.store->clearQuarantine(key);
+        }
+
+        if (auto cached = cfg.store->load(key)) {
+            cell.outcome = CellOutcome::FromStore;
+            cell.result = resultFromSnapshot(*cached);
+            return cell;
+        }
+    }
+
+    for (unsigned attempt = 1; attempt <= cfg.maxAttempts; ++attempt) {
+        if (attempt > 1) {
+            std::uint64_t ms = backoffForAttempt(cfg, attempt);
+            cell.backoffMsTotal += ms;
+            std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        }
+        ++cell.attempts;
+        try {
+            if (cfg.preAttempt)
+                cfg.preAttempt(workload.name, spec.name, attempt);
+            cell.result = simulate(workload, spec, params);
+            cell.outcome = CellOutcome::Computed;
+            if (cfg.store)
+                cfg.store->store(key, resultSnapshot(cell.result));
+            return cell;
+        } catch (const verify::SimError &e) {
+            recordError(cell, e);
+        } catch (const std::exception &e) {
+            cell.error.has = true;
+            cell.error.kind = verify::ErrorKind::Worker;
+            cell.error.component = "Supervisor";
+            cell.error.reason = e.what();
+        }
+    }
+
+    cell.outcome = CellOutcome::Quarantined;
+    if (cfg.store) {
+        cfg.store->markQuarantined(
+            key, std::string(verify::errorKindName(cell.error.kind)) +
+                     " after " + std::to_string(cell.attempts) +
+                     " attempts: " + cell.error.reason);
+    }
+    return cell;
+}
+
+} // namespace
+
+const char *
+cellOutcomeName(CellOutcome outcome)
+{
+    switch (outcome) {
+      case CellOutcome::Computed:
+        return "computed";
+      case CellOutcome::FromStore:
+        return "from-store";
+      case CellOutcome::Quarantined:
+        return "quarantined";
+      case CellOutcome::SkippedQuarantined:
+        return "skipped-quarantined";
+    }
+    return "unknown";
+}
+
+std::string
+SweepReport::summary() const
+{
+    return std::to_string(computed) + " computed, " +
+           std::to_string(fromStore) + " from store, " +
+           std::to_string(quarantined) + " quarantined, " +
+           std::to_string(skippedQuarantined) + " skipped-quarantined";
+}
+
+SweepReport
+runSupervisedMatrix(const std::vector<Workload> &workloads,
+                    const std::vector<PrefetcherSpec> &specs,
+                    const SimParams &params, const SupervisorConfig &config)
+{
+    if (config.maxAttempts == 0) {
+        throw verify::SimError(verify::ErrorKind::Config, "Supervisor",
+                               "maxAttempts must be at least 1");
+    }
+
+    SweepReport report;
+    for (const Workload &w : workloads)
+        report.workloads.push_back(w.name);
+    for (const PrefetcherSpec &s : specs)
+        report.specs.push_back(s.name);
+    report.cells.resize(specs.size());
+    for (auto &row : report.cells)
+        row.resize(workloads.size());
+
+    // Matches the pool's determinism rule: a shared fault injector's
+    // draw sequence must not depend on thread interleaving.
+    unsigned jobs = params.faults ? 1 : config.jobs;
+
+    std::size_t total = specs.size() * workloads.size();
+    forEachIndexParallel(
+        total,
+        [&](std::size_t i) {
+            std::size_t s = i / workloads.size();
+            std::size_t w = i % workloads.size();
+            report.cells[s][w] =
+                superviseCell(workloads[w], specs[s], params, config);
+        },
+        jobs, config.progress);
+
+    for (const auto &row : report.cells) {
+        for (const CellResult &cell : row) {
+            switch (cell.outcome) {
+              case CellOutcome::Computed:
+                ++report.computed;
+                break;
+              case CellOutcome::FromStore:
+                ++report.fromStore;
+                break;
+              case CellOutcome::Quarantined:
+                ++report.quarantined;
+                break;
+              case CellOutcome::SkippedQuarantined:
+                ++report.skippedQuarantined;
+                break;
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace berti::harness

@@ -194,6 +194,17 @@ class Cache : public MemLevel, public ReadClient, public PrefetchPort
     /** Snapshot of every valid MSHR entry (diagnostic dumps). */
     std::vector<MshrView> mshrSnapshot() const;
 
+    /**
+     * Checkpoint hooks: full level state — lines, MSHRs, the free-list
+     * order, queues, statistics, replacement state, the fill-latency
+     * histogram and the attached prefetcher. Request client pointers
+     * travel through the PtrMap the Machine builds from its topology.
+     * Throws verify::SimError(ErrorKind::Checkpoint) when the attached
+     * prefetcher does not support checkpointing.
+     */
+    void saveState(sim::ByteWriter &w, const sim::PtrMap &clients) const;
+    void loadState(sim::ByteReader &r, const sim::PtrMap &clients);
+
     CacheStats stats;
 
   private:

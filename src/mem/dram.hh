@@ -99,6 +99,14 @@ class Dram : public MemLevel
 
     DramStats stats;
 
+    /**
+     * Checkpoint hooks: banks, queues, the write-drain hysteresis flag,
+     * bus state and the in-flight completion heap (drained in ascending
+     * order so the blob is deterministic).
+     */
+    void saveState(sim::ByteWriter &w, const sim::PtrMap &clients) const;
+    void loadState(sim::ByteReader &r, const sim::PtrMap &clients);
+
   private:
     friend class verify::SimAuditor;
     struct Bank
@@ -110,12 +118,18 @@ class Dram : public MemLevel
     struct Completion
     {
         Cycle finish;
+        /** Issue order, breaking same-cycle ties so the heap's pop
+         *  order — and therefore a checkpoint's drained-heap layout —
+         *  is a deterministic total order. */
+        std::uint64_t seq;
         MemRequest req;
 
         bool
         operator>(const Completion &o) const
         {
-            return finish > o.finish;
+            if (finish != o.finish)
+                return finish > o.finish;
+            return seq > o.seq;
         }
     };
 
@@ -135,6 +149,7 @@ class Dram : public MemLevel
     RingQueue<Addr> wq;
     bool drainingWrites = false;
     Cycle busFreeCycle = 0;
+    std::uint64_t nextCompletionSeq = 0;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>>
         inflight;

@@ -3,6 +3,37 @@
 namespace berti
 {
 
+namespace
+{
+
+// Checkpoint helpers: length-prefixed stamp/rrpv arrays, with the count
+// cross-checked against the live geometry so a checkpoint taken on a
+// differently shaped cache fails typed instead of corrupting state.
+template <typename T>
+void
+saveArray(sim::ByteWriter &w, const std::vector<T> &v)
+{
+    w.u32(static_cast<std::uint32_t>(v.size()));
+    for (const T &x : v)
+        w.u64(static_cast<std::uint64_t>(x));
+}
+
+template <typename T>
+void
+loadArray(sim::ByteReader &r, std::vector<T> &v, const char *what)
+{
+    std::uint32_t n = r.u32();
+    if (n != v.size()) {
+        r.fail(std::string(what) + " size " + std::to_string(n) +
+               " does not match the live policy's " +
+               std::to_string(v.size()));
+    }
+    for (T &x : v)
+        x = static_cast<T>(r.u64());
+}
+
+} // namespace
+
 std::unique_ptr<ReplPolicy>
 makeReplPolicy(ReplKind kind, unsigned sets, unsigned ways)
 {
@@ -55,6 +86,20 @@ LruPolicy::onFill(unsigned set, unsigned way, bool)
     touch(set, way);
 }
 
+void
+LruPolicy::saveState(sim::ByteWriter &w) const
+{
+    w.u64(tick);
+    saveArray(w, stamp);
+}
+
+void
+LruPolicy::loadState(sim::ByteReader &r)
+{
+    tick = r.u64();
+    loadArray(r, stamp, "lru stamp array");
+}
+
 // ----------------------------------------------------------------- FIFO
 
 FifoPolicy::FifoPolicy(unsigned sets, unsigned ways)
@@ -83,6 +128,20 @@ void
 FifoPolicy::onFill(unsigned set, unsigned way, bool)
 {
     stamp[static_cast<std::size_t>(set) * ways + way] = ++tick;
+}
+
+void
+FifoPolicy::saveState(sim::ByteWriter &w) const
+{
+    w.u64(tick);
+    saveArray(w, stamp);
+}
+
+void
+FifoPolicy::loadState(sim::ByteReader &r)
+{
+    tick = r.u64();
+    loadArray(r, stamp, "fifo stamp array");
 }
 
 // ---------------------------------------------------------------- SRRIP
@@ -116,6 +175,18 @@ void
 SrripPolicy::onFill(unsigned set, unsigned way, bool)
 {
     rrpv[static_cast<std::size_t>(set) * ways + way] = kMaxRrpv - 1;
+}
+
+void
+SrripPolicy::saveState(sim::ByteWriter &w) const
+{
+    saveArray(w, rrpv);
+}
+
+void
+SrripPolicy::loadState(sim::ByteReader &r)
+{
+    loadArray(r, rrpv, "srrip rrpv array");
 }
 
 // ---------------------------------------------------------------- DRRIP
@@ -168,6 +239,22 @@ DrripPolicy::onFill(unsigned set, unsigned way, bool prefetch)
         rrpv[idx] = kMaxRrpv - 1;
     }
     (void)prefetch;
+}
+
+void
+DrripPolicy::saveState(sim::ByteWriter &w) const
+{
+    SrripPolicy::saveState(w);
+    w.i64(psel);
+    w.u32(bipCounter);
+}
+
+void
+DrripPolicy::loadState(sim::ByteReader &r)
+{
+    SrripPolicy::loadState(r);
+    psel = static_cast<int>(r.i64());
+    bipCounter = r.u32();
 }
 
 } // namespace berti

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/serialize.hh"
+
 namespace berti
 {
 
@@ -43,6 +45,11 @@ class ReplPolicy
     virtual void onFill(unsigned set, unsigned way, bool prefetch) = 0;
 
     virtual std::string name() const = 0;
+
+    /** Checkpoint hooks: serialize the full replacement state. The
+     *  restoring policy must have identical geometry (same cache). */
+    virtual void saveState(sim::ByteWriter &w) const = 0;
+    virtual void loadState(sim::ByteReader &r) = 0;
 };
 
 /** Factory. */
@@ -58,6 +65,8 @@ class LruPolicy : public ReplPolicy
     void onHit(unsigned set, unsigned way) override;
     void onFill(unsigned set, unsigned way, bool prefetch) override;
     std::string name() const override { return "lru"; }
+    void saveState(sim::ByteWriter &w) const override;
+    void loadState(sim::ByteReader &r) override;
 
   private:
     void touch(unsigned set, unsigned way);
@@ -76,6 +85,8 @@ class FifoPolicy : public ReplPolicy
     void onHit(unsigned set, unsigned way) override;
     void onFill(unsigned set, unsigned way, bool prefetch) override;
     std::string name() const override { return "fifo"; }
+    void saveState(sim::ByteWriter &w) const override;
+    void loadState(sim::ByteReader &r) override;
 
   private:
     unsigned ways;
@@ -92,6 +103,8 @@ class SrripPolicy : public ReplPolicy
     void onHit(unsigned set, unsigned way) override;
     void onFill(unsigned set, unsigned way, bool prefetch) override;
     std::string name() const override { return "srrip"; }
+    void saveState(sim::ByteWriter &w) const override;
+    void loadState(sim::ByteReader &r) override;
 
   protected:
     static constexpr std::uint8_t kMaxRrpv = 3;
@@ -110,6 +123,8 @@ class DrripPolicy : public SrripPolicy
     DrripPolicy(unsigned sets, unsigned ways);
     void onFill(unsigned set, unsigned way, bool prefetch) override;
     std::string name() const override { return "drrip"; }
+    void saveState(sim::ByteWriter &w) const override;
+    void loadState(sim::ByteReader &r) override;
 
   private:
     enum class SetRole : std::uint8_t { SrripLeader, BrripLeader, Follower };

@@ -421,4 +421,23 @@ readFile(const std::string &path)
     return os.str();
 }
 
+std::size_t
+removeStaleTempFiles(const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return 0;
+    std::size_t removed = 0;
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        if (entry.path().extension() == ".tmp" &&
+            std::filesystem::remove(entry.path(), ec) && !ec) {
+            ++removed;
+        }
+    }
+    return removed;
+}
+
 } // namespace berti::obs

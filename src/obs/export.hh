@@ -91,6 +91,15 @@ void writeFile(const std::string &path, const std::string &content);
 /** Read a whole file; throws verify::SimError(ErrorKind::TraceIo). */
 std::string readFile(const std::string &path);
 
+/**
+ * Delete leftover "*.tmp" staging files in a directory (non-recursive):
+ * the debris of writeFile calls killed between open and rename. Renames
+ * are atomic, so a surviving .tmp can only be an abandoned partial
+ * write — never a live result. Returns the number removed; a missing
+ * directory removes nothing.
+ */
+std::size_t removeStaleTempFiles(const std::string &dir);
+
 } // namespace berti::obs
 
 #endif // BERTI_OBS_EXPORT_HH

@@ -4,6 +4,7 @@
 #include <bit>
 #include <limits>
 
+#include "sim/serialize.hh"
 #include "verify/sim_error.hh"
 
 namespace berti::obs
@@ -102,6 +103,35 @@ Histogram::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0);
     total = valueSum = lo = hi = 0;
+}
+
+void
+Histogram::saveState(sim::ByteWriter &w) const
+{
+    w.u32(static_cast<std::uint32_t>(buckets.size()));
+    for (std::uint64_t b : buckets)
+        w.u64(b);
+    w.u64(total);
+    w.u64(valueSum);
+    w.u64(lo);
+    w.u64(hi);
+}
+
+void
+Histogram::loadState(sim::ByteReader &r)
+{
+    std::uint32_t n = r.u32();
+    if (n != buckets.size()) {
+        r.fail("histogram bucket count " + std::to_string(n) +
+               " does not match the live histogram's " +
+               std::to_string(buckets.size()));
+    }
+    for (std::uint64_t &b : buckets)
+        b = r.u64();
+    total = r.u64();
+    valueSum = r.u64();
+    lo = r.u64();
+    hi = r.u64();
 }
 
 std::uint64_t

@@ -24,6 +24,12 @@
 #include <string>
 #include <vector>
 
+namespace berti::sim
+{
+class ByteWriter;
+class ByteReader;
+} // namespace berti::sim
+
 namespace berti::obs
 {
 
@@ -107,6 +113,12 @@ class Histogram
         return scale == other.scale && width == other.width &&
                buckets.size() == other.buckets.size();
     }
+
+    /** Checkpoint hooks: contents only — the shape is construction
+     *  state and is cross-checked, not restored. A bucket-count
+     *  mismatch throws verify::SimError(ErrorKind::Checkpoint). */
+    void saveState(sim::ByteWriter &w) const;
+    void loadState(sim::ByteReader &r);
 
   private:
     Histogram(Scale s, std::uint64_t w, unsigned n);

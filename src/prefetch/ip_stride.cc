@@ -1,5 +1,7 @@
 #include "prefetch/ip_stride.hh"
 
+#include "sim/serialize.hh"
+
 namespace berti
 {
 
@@ -72,6 +74,41 @@ IpStridePrefetcher::storageBits() const
 {
     // ip tag (16) + last line (24) + stride (13) + conf (2) + LRU (5).
     return static_cast<std::uint64_t>(cfg.entries) * (16 + 24 + 13 + 2 + 5);
+}
+
+void
+IpStridePrefetcher::saveState(sim::ByteWriter &w) const
+{
+    w.u64(tick);
+    w.u32(static_cast<std::uint32_t>(table.size()));
+    for (const Entry &e : table) {
+        w.b(e.valid);
+        w.u64(e.ip);
+        w.u64(e.lastLine);
+        w.i64(e.stride);
+        w.u32(e.conf);
+        w.u64(e.lruStamp);
+    }
+}
+
+void
+IpStridePrefetcher::loadState(sim::ByteReader &r)
+{
+    tick = r.u64();
+    std::uint32_t n = r.u32();
+    if (n != table.size()) {
+        r.fail("ip-stride table size " + std::to_string(n) +
+               " does not match the live table's " +
+               std::to_string(table.size()));
+    }
+    for (Entry &e : table) {
+        e.valid = r.b();
+        e.ip = r.u64();
+        e.lastLine = r.u64();
+        e.stride = static_cast<int>(r.i64());
+        e.conf = r.u32();
+        e.lruStamp = r.u64();
+    }
 }
 
 } // namespace berti

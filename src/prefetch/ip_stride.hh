@@ -36,6 +36,10 @@ class IpStridePrefetcher : public Prefetcher
     std::uint64_t storageBits() const override;
     std::string name() const override { return "ip-stride"; }
 
+    bool checkpointSupported() const override { return true; }
+    void saveState(sim::ByteWriter &w) const override;
+    void loadState(sim::ByteReader &r) override;
+
   private:
     struct Entry
     {

@@ -30,6 +30,11 @@ class NextLinePrefetcher : public Prefetcher
     std::uint64_t storageBits() const override { return 0; }
     std::string name() const override { return "next-line"; }
 
+    // Stateless (degree is configuration): checkpointable as a no-op.
+    bool checkpointSupported() const override { return true; }
+    void saveState(sim::ByteWriter &) const override {}
+    void loadState(sim::ByteReader &) override {}
+
   private:
     unsigned degree;
 };

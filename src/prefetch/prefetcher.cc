@@ -1,9 +1,37 @@
 #include "prefetch/prefetcher.hh"
 
 #include "obs/metrics.hh"
+#include "sim/serialize.hh"
+#include "verify/sim_error.hh"
 
 namespace berti
 {
+
+namespace
+{
+
+[[noreturn]] void
+rejectCheckpoint(const std::string &name)
+{
+    throw verify::SimError(
+        verify::ErrorKind::Checkpoint, name,
+        "prefetcher '" + name + "' does not support checkpointing — "
+        "its learned state cannot be saved or restored");
+}
+
+} // namespace
+
+void
+Prefetcher::saveState(sim::ByteWriter &) const
+{
+    rejectCheckpoint(name());
+}
+
+void
+Prefetcher::loadState(sim::ByteReader &)
+{
+    rejectCheckpoint(name());
+}
 
 void
 Prefetcher::registerMetrics(obs::MetricsRegistry &registry,

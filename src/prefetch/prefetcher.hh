@@ -18,6 +18,12 @@
 namespace berti
 {
 
+namespace sim
+{
+class ByteWriter;
+class ByteReader;
+} // namespace sim
+
 namespace obs
 {
 class MetricsRegistry;
@@ -126,6 +132,19 @@ class Prefetcher
      */
     virtual std::string debugState() const { return {}; }
 
+    /**
+     * Whether this prefetcher implements the checkpoint hooks below.
+     * Defaults to false: Machine::saveCheckpoint refuses (typed,
+     * ErrorKind::Checkpoint) rather than silently dropping learned
+     * state. Stateless designs return true with no-op hooks.
+     */
+    virtual bool checkpointSupported() const { return false; }
+
+    /** Serialize internal state. Only called when checkpointSupported();
+     *  the base implementation throws the typed refusal. */
+    virtual void saveState(sim::ByteWriter &w) const;
+    virtual void loadState(sim::ByteReader &r);
+
   protected:
     PrefetchPort *port = nullptr;
 };
@@ -140,6 +159,11 @@ class NoPrefetcher : public Prefetcher
     void onAccess(const AccessInfo &) override {}
     std::uint64_t storageBits() const override { return 0; }
     std::string name() const override { return "none"; }
+
+    // Stateless: checkpointable with empty hooks.
+    bool checkpointSupported() const override { return true; }
+    void saveState(sim::ByteWriter &) const override {}
+    void loadState(sim::ByteReader &) override {}
 };
 
 } // namespace berti

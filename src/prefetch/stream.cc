@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "sim/serialize.hh"
+
 namespace berti
 {
 
@@ -78,6 +80,41 @@ StreamPrefetcher::storageBits() const
 {
     // last line (24) + direction + armed + confidence (3) + LRU (6).
     return static_cast<std::uint64_t>(cfg.streams) * (24 + 1 + 1 + 3 + 6);
+}
+
+void
+StreamPrefetcher::saveState(sim::ByteWriter &w) const
+{
+    w.u64(tick);
+    w.u32(static_cast<std::uint32_t>(table.size()));
+    for (const Stream &s : table) {
+        w.b(s.valid);
+        w.b(s.armed);
+        w.b(s.up);
+        w.u64(s.last);
+        w.u32(s.confidence);
+        w.u64(s.lruStamp);
+    }
+}
+
+void
+StreamPrefetcher::loadState(sim::ByteReader &r)
+{
+    tick = r.u64();
+    std::uint32_t n = r.u32();
+    if (n != table.size()) {
+        r.fail("stream table size " + std::to_string(n) +
+               " does not match the live table's " +
+               std::to_string(table.size()));
+    }
+    for (Stream &s : table) {
+        s.valid = r.b();
+        s.armed = r.b();
+        s.up = r.b();
+        s.last = r.u64();
+        s.confidence = r.u32();
+        s.lruStamp = r.u64();
+    }
 }
 
 } // namespace berti

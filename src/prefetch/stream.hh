@@ -35,6 +35,10 @@ class StreamPrefetcher : public Prefetcher
     std::uint64_t storageBits() const override;
     std::string name() const override { return "stream"; }
 
+    bool checkpointSupported() const override { return true; }
+    void saveState(sim::ByteWriter &w) const override;
+    void loadState(sim::ByteReader &r) override;
+
   private:
     struct Stream
     {

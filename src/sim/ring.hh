@@ -183,6 +183,15 @@ class IdSet
     std::size_t size() const { return ids.size(); }
     bool empty() const { return ids.empty(); }
 
+    /**
+     * Raw backing vector, exposed for checkpoint serialization.
+     * Membership is order-independent, but the checkpoint layer
+     * preserves the order anyway so a restored machine re-serializes
+     * to a byte-identical blob.
+     */
+    const std::vector<std::uint64_t> &raw() const { return ids; }
+    void assign(std::vector<std::uint64_t> v) { ids = std::move(v); }
+
   private:
     std::vector<std::uint64_t> ids;
 };

@@ -50,6 +50,12 @@ class Rng
      */
     std::uint64_t nextZipf(std::uint64_t n, double s);
 
+    /** Full generator state, for checkpoint export. */
+    std::uint64_t serializeState() const { return state; }
+
+    /** Restore a state previously captured with serializeState(). */
+    void restoreState(std::uint64_t s) { state = s; }
+
   private:
     std::uint64_t state;
 };

@@ -1,0 +1,61 @@
+#include "sim/serialize.hh"
+
+#include "verify/sim_error.hh"
+
+namespace berti::sim
+{
+
+std::uint64_t
+fnv1a64(std::string_view data)
+{
+    Fnv64 h;
+    h.add(data);
+    return h.value();
+}
+
+void
+ByteReader::expectTag(std::uint32_t t, const char *what)
+{
+    std::size_t at = pos;
+    std::uint32_t got = u32();
+    if (got != t) {
+        pos = at;
+        fail(std::string("bad section marker for ") + what +
+             " — checkpoint layout mismatch");
+    }
+}
+
+void
+ByteReader::fail(const std::string &reason) const
+{
+    throw verify::SimError(verify::ErrorKind::Checkpoint, comp, reason,
+                           origin, pos);
+}
+
+std::uint32_t
+PtrMap::idOf(const void *p) const
+{
+    for (std::size_t i = 0; i < ptrs.size(); ++i) {
+        if (ptrs[i] == p)
+            return static_cast<std::uint32_t>(i);
+    }
+    throw verify::SimError(
+        verify::ErrorKind::Checkpoint, "PtrMap",
+        "in-flight request references a component outside the machine "
+        "topology — cannot serialize its client pointer");
+}
+
+void *
+PtrMap::at(std::uint32_t id) const
+{
+    if (id >= ptrs.size()) {
+        throw verify::SimError(
+            verify::ErrorKind::Checkpoint, "PtrMap",
+            "checkpoint references client id " + std::to_string(id) +
+                " but the machine topology has only " +
+                std::to_string(ptrs.size()) + " registered components");
+    }
+    return ptrs[id];
+}
+
+} // namespace berti::sim

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Checkpoint serialization primitives: a typed little-endian byte
+ * writer/reader pair, an incremental FNV-1a-64 hasher (also the
+ * result-store content hash), and a pointer<->id registry for
+ * serializing the ReadClient pointers inside in-flight MemRequests.
+ *
+ * Every multi-byte field is written little-endian at a fixed width, so
+ * a checkpoint blob is byte-identical across hosts and across
+ * re-serialization of a restored machine (the round-trip property the
+ * checkpoint fuzz suite pins). The reader is bounds-checked: running
+ * past the end of a (truncated) blob throws
+ * verify::SimError(ErrorKind::Checkpoint) carrying the byte offset,
+ * never reads junk.
+ */
+
+#ifndef BERTI_SIM_SERIALIZE_HH
+#define BERTI_SIM_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace berti::sim
+{
+
+/** Incremental FNV-1a-64 hash. */
+class Fnv64
+{
+  public:
+    static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+    void
+    addBytes(const void *data, std::size_t len)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < len; ++i) {
+            state ^= p[i];
+            state *= kPrime;
+        }
+    }
+
+    void add(std::string_view s) { addBytes(s.data(), s.size()); }
+
+    void
+    add(std::uint64_t v)
+    {
+        unsigned char b[8];
+        for (int i = 0; i < 8; ++i)
+            b[i] = static_cast<unsigned char>(v >> (8 * i));
+        addBytes(b, 8);
+    }
+
+    std::uint64_t value() const { return state; }
+
+  private:
+    std::uint64_t state = kOffset;
+};
+
+/** One-shot FNV-1a-64 of a byte string. */
+std::uint64_t fnv1a64(std::string_view data);
+
+/** Typed little-endian serializer into a growable byte string. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { buf.push_back(static_cast<char>(v)); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        u16(static_cast<std::uint16_t>(v));
+        u16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+        u32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    /** Length-prefixed (u32) byte string. */
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buf.append(s.data(), s.size());
+    }
+
+    void
+    bytes(const void *data, std::size_t len)
+    {
+        buf.append(static_cast<const char *>(data), len);
+    }
+
+    /** Section marker; the reader cross-checks it so a save/load
+     *  asymmetry fails at the drifting component, not megabytes later. */
+    void tag(std::uint32_t t) { u32(t); }
+
+    std::size_t size() const { return buf.size(); }
+    const std::string &data() const { return buf; }
+    std::string take() { return std::move(buf); }
+
+  private:
+    std::string buf;
+};
+
+/**
+ * Bounds-checked little-endian reader over a checkpoint blob. All
+ * failure modes (overrun, bad section tag) throw
+ * verify::SimError(ErrorKind::Checkpoint) naming the component and the
+ * byte offset within `path`.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data, std::string component,
+                        std::string path = {})
+        : buf(data), comp(std::move(component)), origin(std::move(path))
+    {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(buf[pos++]);
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t lo = u8();
+        return static_cast<std::uint16_t>(lo |
+                                          (static_cast<std::uint16_t>(u8())
+                                           << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t lo = u16();
+        return lo | (static_cast<std::uint32_t>(u16()) << 16);
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t lo = u32();
+        return lo | (static_cast<std::uint64_t>(u32()) << 32);
+    }
+
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool b() { return u8() != 0; }
+
+    std::string
+    str()
+    {
+        std::uint32_t len = u32();
+        need(len);
+        std::string s(buf.substr(pos, len));
+        pos += len;
+        return s;
+    }
+
+    void
+    bytes(void *out, std::size_t len)
+    {
+        need(len);
+        buf.copy(static_cast<char *>(out), len, pos);
+        pos += len;
+    }
+
+    /** Verify a section marker written by ByteWriter::tag. */
+    void expectTag(std::uint32_t t, const char *what);
+
+    std::size_t offset() const { return pos; }
+    std::size_t remaining() const { return buf.size() - pos; }
+    bool atEnd() const { return pos == buf.size(); }
+
+    /** Throw the typed checkpoint error for this reader's context. */
+    [[noreturn]] void fail(const std::string &reason) const;
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (buf.size() - pos < n)
+            fail("truncated checkpoint data (need " + std::to_string(n) +
+                 " more bytes, " + std::to_string(buf.size() - pos) +
+                 " left)");
+    }
+
+    std::string_view buf;
+    std::size_t pos = 0;
+    std::string comp;
+    std::string origin;
+};
+
+/**
+ * Bidirectional pointer<->small-id registry. Id 0 is always the null
+ * pointer; both sides of a checkpoint build the map by walking the
+ * machine topology in the same deterministic order, so an id written
+ * on save resolves to the equivalent component on load.
+ */
+class PtrMap
+{
+  public:
+    PtrMap() : ptrs{nullptr} {}
+
+    /** Register the next pointer; ids are dense and order-assigned. */
+    std::uint32_t
+    add(void *p)
+    {
+        ptrs.push_back(p);
+        return static_cast<std::uint32_t>(ptrs.size() - 1);
+    }
+
+    /** Id of a registered pointer (0 for null); throws on unknown. */
+    std::uint32_t idOf(const void *p) const;
+
+    /** Pointer for an id read from a checkpoint; throws on bad id. */
+    void *at(std::uint32_t id) const;
+
+  private:
+    std::vector<void *> ptrs;
+};
+
+/** Serialize every counter of a stats struct, field-table order. */
+template <typename S>
+void
+saveStatsFields(ByteWriter &w, const S &s)
+{
+    forEachStatField(const_cast<S &>(s),
+                     [&w](const char *, std::uint64_t &v) { w.u64(v); });
+}
+
+template <typename S>
+void
+loadStatsFields(ByteReader &r, S &s)
+{
+    forEachStatField(s,
+                     [&r](const char *, std::uint64_t &v) { v = r.u64(); });
+}
+
+} // namespace berti::sim
+
+#endif // BERTI_SIM_SERIALIZE_HH

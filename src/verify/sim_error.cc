@@ -17,6 +17,12 @@ errorKindName(ErrorKind kind)
         return "watchdog";
       case ErrorKind::Fault:
         return "fault";
+      case ErrorKind::Checkpoint:
+        return "checkpoint";
+      case ErrorKind::Timeout:
+        return "timeout";
+      case ErrorKind::Worker:
+        return "worker";
     }
     return "unknown";
 }

@@ -25,7 +25,10 @@ enum class ErrorKind : std::uint8_t
     TraceIo,    //!< trace file missing, corrupt or truncated
     Invariant,  //!< SimAuditor found corrupted simulator state
     Watchdog,   //!< forward progress stopped (stuck ROB head / no retire)
-    Fault       //!< an injected fault escalated to a hard failure
+    Fault,      //!< an injected fault escalated to a hard failure
+    Checkpoint, //!< checkpoint missing, corrupt, incompatible, unsupported
+    Timeout,    //!< wall-clock budget exceeded (supervised execution)
+    Worker      //!< a supervised cell failed for an unclassified reason
 };
 
 /** Human-readable name of an ErrorKind ("config", "trace-io", ...). */

@@ -1,6 +1,7 @@
 #include "vm/tlb.hh"
 
 #include "obs/metrics.hh"
+#include "sim/serialize.hh"
 
 namespace berti
 {
@@ -103,6 +104,49 @@ TranslationUnit::registerMetrics(obs::MetricsRegistry &registry,
 {
     l1.registerMetrics(registry, dtlb_prefix);
     l2.registerMetrics(registry, stlb_prefix);
+}
+
+void
+Tlb::saveState(sim::ByteWriter &w) const
+{
+    w.u64(tick);
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const Entry &e : entries) {
+        w.u64(e.vpage);
+        w.u64(e.stamp);
+    }
+    sim::saveStatsFields(w, stats);
+}
+
+void
+Tlb::loadState(sim::ByteReader &r)
+{
+    tick = r.u64();
+    std::uint32_t n = r.u32();
+    if (n != entries.size()) {
+        r.fail("TLB entry count " + std::to_string(n) +
+               " does not match the live TLB's " +
+               std::to_string(entries.size()));
+    }
+    for (Entry &e : entries) {
+        e.vpage = r.u64();
+        e.stamp = r.u64();
+    }
+    sim::loadStatsFields(r, stats);
+}
+
+void
+TranslationUnit::saveState(sim::ByteWriter &w) const
+{
+    l1.saveState(w);
+    l2.saveState(w);
+}
+
+void
+TranslationUnit::loadState(sim::ByteReader &r)
+{
+    l1.loadState(r);
+    l2.loadState(r);
 }
 
 } // namespace berti

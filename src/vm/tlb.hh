@@ -19,6 +19,12 @@
 namespace berti
 {
 
+namespace sim
+{
+class ByteWriter;
+class ByteReader;
+} // namespace sim
+
 namespace obs
 {
 class MetricsRegistry;
@@ -48,6 +54,10 @@ class Tlb
     /** Register this level's counters into the registry. */
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &prefix);
+
+    /** Checkpoint hooks: LRU tick, entry array and counters. */
+    void saveState(sim::ByteWriter &w) const;
+    void loadState(sim::ByteReader &r);
 
     TlbStats stats;
 
@@ -116,6 +126,11 @@ class TranslationUnit
     void registerMetrics(obs::MetricsRegistry &registry,
                          const std::string &dtlb_prefix,
                          const std::string &stlb_prefix);
+
+    /** Checkpoint hooks: both TLB levels. The page table is stateless
+     *  (keyed permutation derived from the construction seed). */
+    void saveState(sim::ByteWriter &w) const;
+    void loadState(sim::ByteReader &r);
 
   private:
     Tlb l1;

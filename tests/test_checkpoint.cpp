@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Checkpoint/resume validation: a resumed machine must be
+ * indistinguishable from one that never stopped. The strongest form of
+ * that claim is byte equality of the re-serialized state, so most
+ * tests compare whole checkpoint blobs rather than individual
+ * counters; the rejection tests then pin down the typed-error contract
+ * for truncated, corrupted, version-skewed and mis-wired blobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/checkpoint.hh"
+#include "harness/experiment.hh"
+#include "obs/export.hh"
+#include "oracle/microtrace.hh"
+#include "sim/serialize.hh"
+#include "trace/instr.hh"
+#include "trace/registry.hh"
+#include "verify/sim_error.hh"
+
+namespace berti
+{
+
+namespace
+{
+
+/** The resume matrix the acceptance criteria name: three workloads
+ *  crossed with four checkpointable specs. */
+const std::vector<std::string> kWorkloads = {
+    "mcf-like.472", "bwaves-like.2609", "cactu-like.709"};
+const std::vector<std::string> kSpecs = {"none", "berti", "ip-stride",
+                                         "stream"};
+
+constexpr std::uint64_t kWarmup = 4000;
+constexpr std::uint64_t kMeasure = 12000;
+
+MachineConfig
+configFor(const std::string &spec_name, unsigned cores = 1)
+{
+    PrefetcherSpec spec = makeSpec(spec_name);
+    MachineConfig cfg = MachineConfig::sunnyCove(cores);
+    cfg.l1dPrefetcher = spec.l1d;
+    cfg.l2Prefetcher = spec.l2;
+    return cfg;
+}
+
+/** Byte equality with a readable failure (no multi-KB blob dumps). */
+void
+expectBlobsEqual(const std::string &a, const std::string &b,
+                 const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what << ": blob sizes differ";
+    if (a != b) {
+        std::size_t at = 0;
+        while (at < a.size() && a[at] == b[at])
+            ++at;
+        FAIL() << what << ": blobs diverge at byte " << at << " of "
+               << a.size();
+    }
+}
+
+/**
+ * The core property: save at the warmup boundary, resume into a fresh
+ * machine with fresh generators, run the measure region on both, and
+ * require the final serialized states to be byte-identical.
+ */
+void
+checkResumeBitIdentical(const MachineConfig &cfg,
+                        const std::vector<const Workload *> &workloads,
+                        const std::string &what)
+{
+    std::vector<std::unique_ptr<TraceGenerator>> gens_a;
+    std::vector<TraceGenerator *> ptrs_a;
+    for (const Workload *w : workloads) {
+        gens_a.push_back(w->make());
+        ptrs_a.push_back(gens_a.back().get());
+    }
+    Machine uninterrupted(cfg, ptrs_a);
+    uninterrupted.run(kWarmup);
+    std::string mid = uninterrupted.saveCheckpointBlob();
+    uninterrupted.run(kMeasure);
+    std::string want = uninterrupted.saveCheckpointBlob();
+
+    std::vector<std::unique_ptr<TraceGenerator>> gens_b;
+    std::vector<TraceGenerator *> ptrs_b;
+    for (const Workload *w : workloads) {
+        gens_b.push_back(w->make());
+        ptrs_b.push_back(gens_b.back().get());
+    }
+    Machine resumed(cfg, ptrs_b);
+    resumed.resumeFromBlob(mid);
+
+    // Restore must be lossless before any further execution: the
+    // resumed machine re-serializes to the exact bytes it was fed.
+    expectBlobsEqual(resumed.saveCheckpointBlob(), mid,
+                     what + " (idempotent restore)");
+
+    resumed.run(kMeasure);
+    expectBlobsEqual(resumed.saveCheckpointBlob(), want,
+                     what + " (post-resume run)");
+
+    // Blob equality implies stats equality, but check the exported
+    // metrics too so a future blob-layout bug cannot mask a stats one.
+    EXPECT_EQ(obs::toJson(resumed.metricsSnapshot()),
+              obs::toJson(uninterrupted.metricsSnapshot()))
+        << what;
+}
+
+} // namespace
+
+TEST(Checkpoint, SplitRunMatchesSingleRun)
+{
+    MachineConfig cfg = configFor("berti");
+    const Workload &w = findWorkload("mcf-like.472");
+
+    auto gen_single = w.make();
+    Machine single(cfg, {gen_single.get()});
+    single.run(kWarmup + kMeasure);
+
+    auto gen_split = w.make();
+    Machine split(cfg, {gen_split.get()});
+    split.run(kWarmup);
+    split.run(kMeasure);
+
+    expectBlobsEqual(split.saveCheckpointBlob(),
+                     single.saveCheckpointBlob(), "split vs single run");
+}
+
+TEST(Checkpoint, ResumeBitIdenticalAcrossWorkloadAndSpecMatrix)
+{
+    for (const std::string &spec : kSpecs) {
+        for (const std::string &name : kWorkloads) {
+            const Workload &w = findWorkload(name);
+            checkResumeBitIdentical(configFor(spec), {&w},
+                                    spec + "/" + name);
+        }
+    }
+}
+
+TEST(Checkpoint, ResumeBitIdenticalMulticore)
+{
+    const Workload &a = findWorkload("mcf-like.472");
+    const Workload &b = findWorkload("bwaves-like.2609");
+    checkResumeBitIdentical(configFor("berti", 2), {&a, &b},
+                            "berti multicore");
+}
+
+TEST(Checkpoint, ResumeBitIdenticalOnAdversarialMicroTraces)
+{
+    // The differential oracle's adversarial workload classes
+    // (page-crossing strides, aliasing sets, writeback races, ...) make
+    // good checkpoint stressors too: they keep MSHRs, writeback queues
+    // and TLB walks live at the save point.
+    std::uint64_t seed = oracle::testSeed(0xC4EC4001);
+    MachineConfig cfg = configFor("berti");
+    for (const auto &cls : oracle::microTraceClasses()) {
+        oracle::MicroTrace trace = cls.generate(seed, 400);
+        std::vector<TraceInstr> instrs = oracle::toInstrs(trace);
+
+        ScriptedGen gen_a(instrs);
+        Machine uninterrupted(cfg, {&gen_a});
+        uninterrupted.run(kWarmup);
+        std::string mid = uninterrupted.saveCheckpointBlob();
+        uninterrupted.run(kMeasure);
+
+        ScriptedGen gen_b(instrs);
+        Machine resumed(cfg, {&gen_b});
+        resumed.resumeFromBlob(mid);
+        resumed.run(kMeasure);
+
+        expectBlobsEqual(resumed.saveCheckpointBlob(),
+                         uninterrupted.saveCheckpointBlob(),
+                         cls.name + " seed=" + std::to_string(seed));
+    }
+}
+
+TEST(Checkpoint, AuditorPassesAfterRestore)
+{
+    MachineConfig cfg = configFor("berti");
+    cfg.audit.enabled = true;
+    const Workload &w = findWorkload("mcf-like.472");
+
+    auto gen_a = w.make();
+    Machine saver(cfg, {gen_a.get()});
+    saver.run(kWarmup);
+    std::string blob = saver.saveCheckpointBlob();
+
+    auto gen_b = w.make();
+    Machine resumed(cfg, {gen_b.get()});
+    resumed.resumeFromBlob(blob);
+    ASSERT_NE(resumed.auditor(), nullptr);
+    // resumeFromBlob runs a full invariant pass over the restored state.
+    EXPECT_GT(resumed.auditor()->checksRun(), 0u);
+    resumed.run(kMeasure);
+}
+
+TEST(Checkpoint, FileRoundTripIsAtomicAndLossless)
+{
+    std::string path = ::testing::TempDir() + "/berti_ckpt_test.bin";
+    MachineConfig cfg = configFor("ip-stride");
+    const Workload &w = findWorkload("cactu-like.709");
+
+    auto gen_a = w.make();
+    Machine saver(cfg, {gen_a.get()});
+    saver.run(kWarmup);
+    saver.saveCheckpoint(path);
+    std::string blob = saver.saveCheckpointBlob();
+
+    auto gen_b = w.make();
+    Machine resumed(cfg, {gen_b.get()});
+    resumed.resumeFrom(path);
+    expectBlobsEqual(resumed.saveCheckpointBlob(), blob, "file round-trip");
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsTypedError)
+{
+    MachineConfig cfg = configFor("none");
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen = w.make();
+    Machine m(cfg, {gen.get()});
+    std::string path = ::testing::TempDir() + "/berti_no_such_ckpt.bin";
+    try {
+        m.resumeFrom(path);
+        FAIL() << "resume from a missing file must throw";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint);
+        EXPECT_EQ(e.path(), path);
+    }
+}
+
+TEST(Checkpoint, UnsupportedPrefetcherRefusesWithReason)
+{
+    // BOP keeps a round-robin offset-scoring engine that has no
+    // serialization hooks yet; the machine must say so up front.
+    MachineConfig cfg = configFor("bop");
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen = w.make();
+    Machine m(cfg, {gen.get()});
+
+    std::string why;
+    EXPECT_FALSE(m.checkpointSupported(&why));
+    EXPECT_NE(why.find("bop"), std::string::npos) << why;
+
+    try {
+        (void)m.saveCheckpointBlob();
+        FAIL() << "saving an uncheckpointable machine must throw";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint);
+    }
+}
+
+TEST(Checkpoint, ConfigFingerprintMismatchRejected)
+{
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen_a = w.make();
+    Machine saver(configFor("berti"), {gen_a.get()});
+    saver.run(kWarmup);
+    std::string blob = saver.saveCheckpointBlob();
+
+    auto gen_b = w.make();
+    Machine other(configFor("none"), {gen_b.get()});
+    EXPECT_NE(other.configFingerprint(), saver.configFingerprint());
+    try {
+        other.resumeFromBlob(blob);
+        FAIL() << "resume on a different topology must throw";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint);
+        EXPECT_NE(e.reason().find("fingerprint"), std::string::npos)
+            << e.reason();
+    }
+}
+
+TEST(Checkpoint, CoreCountMismatchRejected)
+{
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen_a = w.make();
+    Machine saver(configFor("none"), {gen_a.get()});
+    saver.run(kWarmup);
+    std::string blob = saver.saveCheckpointBlob();
+
+    auto gen_b = w.make();
+    auto gen_c = w.make();
+    Machine two(configFor("none", 2), {gen_b.get(), gen_c.get()});
+    EXPECT_THROW(two.resumeFromBlob(blob), verify::SimError);
+}
+
+TEST(Checkpoint, NonPristineMachineRejectsResume)
+{
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen_a = w.make();
+    Machine saver(configFor("none"), {gen_a.get()});
+    saver.run(kWarmup);
+    std::string blob = saver.saveCheckpointBlob();
+
+    auto gen_b = w.make();
+    Machine ran(configFor("none"), {gen_b.get()});
+    ran.run(100);
+    try {
+        ran.resumeFromBlob(blob);
+        FAIL() << "resume into an already-run machine must throw";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint);
+        EXPECT_NE(e.reason().find("pristine"), std::string::npos)
+            << e.reason();
+    }
+}
+
+TEST(Checkpoint, CorruptBlobsRejectedBeforeAnyStateIsTouched)
+{
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen_a = w.make();
+    Machine saver(configFor("berti"), {gen_a.get()});
+    saver.run(kWarmup);
+    const std::string blob = saver.saveCheckpointBlob();
+
+    auto rejects = [&](std::string bad, const std::string &what) {
+        auto gen = w.make();
+        Machine m(configFor("berti"), {gen.get()});
+        try {
+            m.resumeFromBlob(bad);
+            FAIL() << what << ": corrupt blob accepted";
+        } catch (const verify::SimError &e) {
+            EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint) << what;
+        }
+        // Validation failed fast: the machine is still pristine, so a
+        // restore from the good blob still succeeds afterwards.
+        m.resumeFromBlob(blob);
+    };
+
+    rejects(std::string(), "empty blob");
+    rejects(blob.substr(0, harness::kCheckpointHeaderBytes - 2),
+            "truncated header");
+    rejects(blob.substr(0, blob.size() / 2), "truncated payload");
+    rejects(blob.substr(0, blob.size() - 1), "missing checksum byte");
+
+    std::string flipped = blob;
+    flipped[flipped.size() / 2] ^= 0x40;
+    rejects(flipped, "bit flip in payload");
+
+    std::string bad_magic = blob;
+    bad_magic[0] ^= 0xFF;
+    rejects(bad_magic, "bad magic");
+
+    // Version skew: patch the version field, then re-stamp the trailing
+    // checksum so the version check (not the checksum) must catch it.
+    std::string bad_version = blob.substr(0, blob.size() - 8);
+    bad_version[8] = static_cast<char>(harness::kCheckpointVersion + 1);
+    std::uint64_t sum = sim::fnv1a64(bad_version);
+    for (unsigned i = 0; i < 8; ++i)
+        bad_version.push_back(static_cast<char>((sum >> (8 * i)) & 0xFF));
+    auto gen = w.make();
+    Machine m(configFor("berti"), {gen.get()});
+    try {
+        m.resumeFromBlob(bad_version);
+        FAIL() << "version skew accepted";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint);
+        EXPECT_NE(e.reason().find("version"), std::string::npos)
+            << e.reason();
+    }
+}
+
+TEST(Checkpoint, WallClockBudgetThrowsTypedTimeout)
+{
+    // A 1 ms budget cannot cover a 50M-instruction run; the deadline
+    // probe must convert that into a typed Timeout instead of a hang.
+    MachineConfig cfg = configFor("none");
+    cfg.wallClockBudgetMs = 1;
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen = w.make();
+    Machine m(cfg, {gen.get()});
+    try {
+        m.run(50'000'000);
+        FAIL() << "run past the wall-clock budget must throw";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Timeout);
+        EXPECT_FALSE(e.diagnostic().empty());
+    }
+}
+
+} // namespace berti

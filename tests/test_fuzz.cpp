@@ -17,6 +17,7 @@
 #include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "obs/timeseries.hh"
+#include "oracle/microtrace.hh"
 #include "sim/rng.hh"
 #include "trace/generators.hh"
 #include "trace/trace_io.hh"
@@ -482,5 +483,102 @@ TEST_P(ObsFuzz, SnapshotJsonRoundTripsArbitraryValues)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ObsFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// -------------------------------------------------------- checkpoints
+
+class CheckpointFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CheckpointFuzz, SaveRestoreNeverDivergesOnMicroTraces)
+{
+    // Property: for any adversarial micro-trace and any save point, a
+    // machine resumed from the checkpoint re-serializes to the same
+    // bytes as one that never stopped.
+    std::uint64_t seed = oracle::testSeed(GetParam() ^ 0xC4EC7F00);
+    Rng rng(seed);
+    const auto &classes = oracle::microTraceClasses();
+    MachineConfig cfg = MachineConfig::sunnyCove(1);
+    cfg.l1dPrefetcher = makeSpec("berti").l1d;
+
+    unsigned iters = oracle::propertyIterations(2);
+    for (unsigned i = 0; i < iters; ++i) {
+        const auto &cls = classes[rng.nextBounded(classes.size())];
+        std::uint64_t trace_seed = rng.next();
+        auto instrs = oracle::toInstrs(
+            cls.generate(trace_seed, 200 + rng.nextBounded(400)));
+        std::uint64_t warmup = 500 + rng.nextBounded(4000);
+        std::uint64_t measure = 500 + rng.nextBounded(8000);
+
+        ScriptedGen gen_a(instrs);
+        Machine uninterrupted(cfg, {&gen_a});
+        uninterrupted.run(warmup);
+        std::string mid = uninterrupted.saveCheckpointBlob();
+        uninterrupted.run(measure);
+
+        ScriptedGen gen_b(instrs);
+        Machine resumed(cfg, {&gen_b});
+        resumed.resumeFromBlob(mid);
+        ASSERT_TRUE(resumed.saveCheckpointBlob() == mid)
+            << "restore not idempotent: " << cls.name << " seed=" << seed;
+        resumed.run(measure);
+        ASSERT_TRUE(resumed.saveCheckpointBlob() ==
+                    uninterrupted.saveCheckpointBlob())
+            << "diverged after resume: " << cls.name << " seed=" << seed
+            << " trace_seed=" << trace_seed << " warmup=" << warmup
+            << " measure=" << measure;
+    }
+}
+
+TEST_P(CheckpointFuzz, DamagedBlobsAreRejectedAsTypedErrors)
+{
+    // Property: any single-bit flip or truncation of a checkpoint blob
+    // is rejected with a typed Checkpoint error before any state is
+    // applied — the victim machine stays pristine and resumable.
+    std::uint64_t seed = oracle::testSeed(GetParam() ^ 0xDA3A6ED);
+    Rng rng(seed);
+    MachineConfig cfg = MachineConfig::sunnyCove(1);
+    cfg.l1dPrefetcher = makeSpec("berti").l1d;
+
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen = w.make();
+    Machine saver(cfg, {gen.get()});
+    saver.run(2000);
+    const std::string blob = saver.saveCheckpointBlob();
+
+    verify::FaultConfig fc;
+    fc.seed = seed;
+    fc.traceBitFlipRate = 1.0;  // the record mutator doubles as a
+                                // single-event-upset source for blobs
+    verify::FaultInjector inj(fc);
+
+    auto gen_victim = w.make();
+    Machine victim(cfg, {gen_victim.get()});
+    unsigned iters = oracle::propertyIterations(16);
+    for (unsigned i = 0; i < iters; ++i) {
+        std::string bad = blob;
+        if (rng.nextBool(0.5)) {
+            verify::TraceFault f = inj.mutateTraceRecord(
+                reinterpret_cast<unsigned char *>(bad.data()), bad.size());
+            ASSERT_EQ(f, verify::TraceFault::Corrupted);
+        } else {
+            bad = bad.substr(0, rng.nextBounded(bad.size()));
+        }
+        try {
+            victim.resumeFromBlob(bad);
+            FAIL() << "damaged blob accepted (iter " << i << ", seed "
+                   << seed << ")";
+        } catch (const verify::SimError &e) {
+            EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint)
+                << e.what();
+        }
+    }
+    // Every rejection happened before mutation: the machine still
+    // accepts the intact blob.
+    victim.resumeFromBlob(blob);
+    EXPECT_TRUE(victim.saveCheckpointBlob() == blob);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointFuzz,
+                         ::testing::Values(11, 22, 33));
 
 } // namespace berti

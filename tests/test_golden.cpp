@@ -14,6 +14,7 @@
 
 #include <cstdlib>
 #include <gtest/gtest.h>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,40 @@ updateMode()
     return berti::sim::SimOptions::fromEnv().updateGoldens;
 }
 
+/**
+ * Load and parse one golden, folding every failure mode — directory or
+ * file missing, unreadable, truncated or otherwise corrupt JSON — into
+ * one readable diagnostic naming the regeneration command, instead of
+ * an unhandled SimError unwinding through gtest. Returns nullopt and
+ * fills `error` on failure.
+ */
+std::optional<obs::MetricsSnapshot>
+loadGolden(const std::string &path, std::string *error)
+{
+    std::string text;
+    try {
+        text = obs::readFile(path);
+    } catch (const verify::SimError &e) {
+        *error = std::string("missing or unreadable golden ") + path +
+                 " [" + verify::errorKindName(e.kind()) + "] " +
+                 e.reason() +
+                 " — run tools/update_goldens.sh and commit the result";
+        return std::nullopt;
+    }
+    try {
+        obs::MetricsSnapshot snap = obs::snapshotFromJson(text, path);
+        return snap;
+    } catch (const verify::SimError &e) {
+        *error = std::string("corrupt or truncated golden ") + path +
+                 " [" + verify::errorKindName(e.kind()) + "] " +
+                 e.reason() +
+                 " — if the file was damaged (e.g. a truncated "
+                 "checkout), restore it from git; after an intentional "
+                 "schema change run tools/update_goldens.sh";
+        return std::nullopt;
+    }
+}
+
 class GoldenTest : public ::testing::TestWithParam<
                        std::tuple<std::string, std::string>>
 {};
@@ -82,24 +117,22 @@ TEST_P(GoldenTest, MatchesCheckedInStats)
         GTEST_SKIP() << "updated golden " << path;
     }
 
-    std::string expected_json;
-    try {
-        expected_json = obs::readFile(path);
-    } catch (const verify::SimError &) {
-        FAIL() << "missing golden " << path
-               << " — run tools/update_goldens.sh and commit the result";
-    }
+    std::string error;
+    std::optional<obs::MetricsSnapshot> expected =
+        loadGolden(path, &error);
+    if (!expected)
+        FAIL() << error;
 
-    if (expected_json == actual_json)
-        return;  // bit-identical, the common case
+    // loadGolden proved the file reads and parses; the byte compare is
+    // now safe and stays the bit-identical common case.
+    if (obs::readFile(path) == actual_json)
+        return;
 
     // Not identical: produce a field-level diff instead of two JSON
     // blobs, so the failing counter is named directly.
-    obs::MetricsSnapshot expected =
-        obs::snapshotFromJson(expected_json, path);
     obs::MetricsSnapshot actual =
         obs::snapshotFromJson(actual_json, "simulated");
-    auto diffs = obs::diffSnapshots(expected, actual);
+    auto diffs = obs::diffSnapshots(*expected, actual);
     ASSERT_FALSE(diffs.empty())
         << "golden " << path
         << " differs only in formatting — regenerate it with "
@@ -145,17 +178,55 @@ TEST(GoldenSchema, GoldensRoundTripAtCurrentVersion)
     for (const auto &w : kWorkloads) {
         for (const auto &s : kSpecs) {
             std::string path = goldenPath(w, s);
-            std::string text;
-            try {
-                text = obs::readFile(path);
-            } catch (const verify::SimError &) {
-                FAIL() << "missing golden " << path;
-            }
-            obs::MetricsSnapshot snap = obs::snapshotFromJson(text, path);
-            EXPECT_EQ(obs::toJson(snap), text) << path;
-            EXPECT_GT(snap.size(), 50u) << path;
+            std::string error;
+            std::optional<obs::MetricsSnapshot> snap =
+                loadGolden(path, &error);
+            if (!snap)
+                FAIL() << error;
+            EXPECT_EQ(obs::toJson(*snap), obs::readFile(path)) << path;
+            EXPECT_GT(snap->size(), 50u) << path;
         }
     }
+}
+
+/** The failure modes themselves: a missing goldens directory and a
+ *  truncated golden must come back as readable guidance naming the
+ *  regeneration command, never as an unhandled exception. */
+TEST(GoldenHarness, MissingAndTruncatedGoldensProduceReadableErrors)
+{
+    std::string dir = ::testing::TempDir() + "/berti_goldens_harness";
+
+    // Missing directory / file.
+    std::string error;
+    EXPECT_FALSE(loadGolden(dir + "/no_such__golden.json", &error));
+    EXPECT_NE(error.find("missing or unreadable golden"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find("tools/update_goldens.sh"), std::string::npos)
+        << error;
+
+    // Truncated golden: take a real export, cut it mid-document.
+    obs::MetricsSnapshot snap;
+    snap.setCounter("core.instructions", 20000);
+    snap.setGauge("ipc", 1.5);
+    std::string json = obs::toJson(snap);
+    std::string path = dir + "/truncated__golden.json";
+    obs::writeFile(path, json.substr(0, json.size() / 2));
+
+    error.clear();
+    EXPECT_FALSE(loadGolden(path, &error));
+    EXPECT_NE(error.find("corrupt or truncated golden"),
+              std::string::npos)
+        << error;
+    EXPECT_NE(error.find(path), std::string::npos) << error;
+
+    // And the intact document still loads, so the guard adds no false
+    // positives.
+    obs::writeFile(path, json);
+    error.clear();
+    std::optional<obs::MetricsSnapshot> back = loadGolden(path, &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_TRUE(*back == snap);
 }
 
 } // namespace

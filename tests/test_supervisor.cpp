@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Supervised-sweep tests: retry with backoff, quarantine with typed
+ * per-cell errors and graceful degradation of the rest of the matrix,
+ * store-backed resume serving bit-identical results, the quarantine
+ * skip/rerun tiers, and the wall-clock deadline surfacing as a typed
+ * Timeout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/result_store.hh"
+#include "harness/supervisor.hh"
+#include "obs/export.hh"
+#include "trace/registry.hh"
+#include "verify/sim_error.hh"
+
+namespace berti::harness
+{
+
+namespace
+{
+
+SimParams
+quick()
+{
+    SimParams p;
+    p.warmupInstructions = 2000;
+    p.measureInstructions = 10000;
+    return p;
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name + "." +
+           std::to_string(::getpid());
+}
+
+std::vector<Workload>
+workloadsByName(const std::vector<std::string> &names)
+{
+    std::vector<Workload> out;
+    for (const std::string &n : names)
+        out.push_back(findWorkload(n));
+    return out;
+}
+
+std::vector<PrefetcherSpec>
+specsByName(const std::vector<std::string> &names)
+{
+    std::vector<PrefetcherSpec> out;
+    for (const std::string &n : names)
+        out.push_back(makeSpec(n));
+    return out;
+}
+
+const CellResult &
+cellOf(const SweepReport &report, const std::string &spec,
+       const std::string &workload)
+{
+    for (std::size_t s = 0; s < report.specs.size(); ++s) {
+        for (std::size_t w = 0; w < report.workloads.size(); ++w) {
+            if (report.specs[s] == spec && report.workloads[w] == workload)
+                return report.cells[s][w];
+        }
+    }
+    throw std::out_of_range(spec + "/" + workload);
+}
+
+} // namespace
+
+TEST(Supervisor, ZeroAttemptsIsStructuralMisuse)
+{
+    SupervisorConfig cfg;
+    cfg.maxAttempts = 0;
+    EXPECT_THROW(runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                                     specsByName({"none"}), quick(), cfg),
+                 verify::SimError);
+}
+
+TEST(Supervisor, TransientFailureIsRetriedWithBackoffThenSucceeds)
+{
+    SupervisorConfig cfg;
+    cfg.maxAttempts = 3;
+    cfg.backoffBaseMs = 1;
+    cfg.preAttempt = [](const std::string &, const std::string &,
+                        unsigned attempt) {
+        if (attempt < 3) {
+            throw verify::SimError(verify::ErrorKind::Fault, "test",
+                                   "transient failure " +
+                                       std::to_string(attempt));
+        }
+    };
+
+    SweepReport report =
+        runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                            specsByName({"none"}), quick(), cfg);
+    const CellResult &cell = cellOf(report, "none", "mcf-like.472");
+    EXPECT_EQ(cell.outcome, CellOutcome::Computed);
+    EXPECT_EQ(cell.attempts, 3u);
+    // Backoff before retries 2 and 3: 1 ms + 2 ms.
+    EXPECT_EQ(cell.backoffMsTotal, 3u);
+    EXPECT_TRUE(report.allOk());
+}
+
+TEST(Supervisor, PersistentFailureIsQuarantinedWithoutFailingTheRest)
+{
+    ResultStore store(freshDir("berti_sup_quar"));
+    SupervisorConfig cfg;
+    cfg.maxAttempts = 2;
+    cfg.backoffBaseMs = 1;
+    cfg.store = &store;
+    cfg.preAttempt = [](const std::string &workload, const std::string &spec,
+                        unsigned) {
+        if (spec == "berti" && workload == "mcf-like.472") {
+            throw verify::SimError(verify::ErrorKind::Fault, "test",
+                                   "deterministic crash");
+        }
+    };
+
+    SweepReport report = runSupervisedMatrix(
+        workloadsByName({"mcf-like.472", "cactu-like.709"}),
+        specsByName({"none", "berti"}), quick(), cfg);
+
+    // Graceful degradation: the poisoned cell carries its typed error,
+    // every other cell completed normally.
+    const CellResult &bad = cellOf(report, "berti", "mcf-like.472");
+    EXPECT_EQ(bad.outcome, CellOutcome::Quarantined);
+    EXPECT_EQ(bad.attempts, 2u);
+    ASSERT_TRUE(bad.error.has);
+    EXPECT_EQ(bad.error.kind, verify::ErrorKind::Fault);
+    EXPECT_NE(bad.error.reason.find("deterministic crash"),
+              std::string::npos);
+
+    EXPECT_EQ(report.quarantined, 1u);
+    EXPECT_EQ(report.computed, 3u);
+    EXPECT_FALSE(report.allOk());
+
+    // The on-disk marker records the failure for the next sweep.
+    StoreKey key = makeStoreKey("mcf-like.472", "berti", quick());
+    auto marker = store.loadQuarantine(key);
+    ASSERT_TRUE(marker.has_value());
+    EXPECT_NE(marker->find("deterministic crash"), std::string::npos);
+}
+
+TEST(Supervisor, QuarantinedCellsAreSkippedUntilRerunFailed)
+{
+    ResultStore store(freshDir("berti_sup_rerun"));
+    StoreKey key = makeStoreKey("mcf-like.472", "none", quick());
+    store.markQuarantined(key, "fault from an earlier sweep");
+
+    SupervisorConfig cfg;
+    cfg.store = &store;
+    SweepReport skipped =
+        runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                            specsByName({"none"}), quick(), cfg);
+    const CellResult &cell = cellOf(skipped, "none", "mcf-like.472");
+    EXPECT_EQ(cell.outcome, CellOutcome::SkippedQuarantined);
+    EXPECT_EQ(cell.attempts, 0u);
+    EXPECT_NE(cell.error.reason.find("earlier sweep"), std::string::npos);
+
+    cfg.rerunFailed = true;
+    SweepReport rerun =
+        runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                            specsByName({"none"}), quick(), cfg);
+    EXPECT_EQ(cellOf(rerun, "none", "mcf-like.472").outcome,
+              CellOutcome::Computed);
+    // Success lifted the marker.
+    EXPECT_FALSE(store.loadQuarantine(key).has_value());
+}
+
+TEST(Supervisor, StoreResumeServesBitIdenticalResults)
+{
+    ResultStore store(freshDir("berti_sup_resume"));
+    SupervisorConfig cfg;
+    cfg.store = &store;
+    auto workloads = workloadsByName({"mcf-like.472", "cactu-like.709"});
+    auto specs = specsByName({"none", "berti"});
+
+    SweepReport first =
+        runSupervisedMatrix(workloads, specs, quick(), cfg);
+    EXPECT_EQ(first.computed, 4u);
+    EXPECT_EQ(first.fromStore, 0u);
+
+    // The "resumed" sweep recomputes nothing and its per-cell exports
+    // are byte-identical to the uninterrupted run's.
+    std::atomic<unsigned> attempts{0};
+    cfg.preAttempt = [&attempts](const std::string &, const std::string &,
+                                 unsigned) { ++attempts; };
+    SweepReport second =
+        runSupervisedMatrix(workloads, specs, quick(), cfg);
+    EXPECT_EQ(second.fromStore, 4u);
+    EXPECT_EQ(second.computed, 0u);
+    EXPECT_EQ(attempts.load(), 0u);
+
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            EXPECT_EQ(
+                obs::toJson(resultSnapshot(second.cells[s][w].result)),
+                obs::toJson(resultSnapshot(first.cells[s][w].result)))
+                << specs[s].name << "/" << workloads[w].name;
+        }
+    }
+}
+
+TEST(Supervisor, WallClockDeadlineBecomesTypedTimeout)
+{
+    SimParams params;
+    params.warmupInstructions = 1000;
+    params.measureInstructions = 50'000'000;  // cannot finish in 1 ms
+    params.wallClockBudgetMs = 1;
+
+    SupervisorConfig cfg;
+    cfg.maxAttempts = 1;
+    SweepReport report =
+        runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                            specsByName({"none"}), params, cfg);
+    const CellResult &cell = cellOf(report, "none", "mcf-like.472");
+    EXPECT_EQ(cell.outcome, CellOutcome::Quarantined);
+    ASSERT_TRUE(cell.error.has);
+    EXPECT_EQ(cell.error.kind, verify::ErrorKind::Timeout);
+    EXPECT_NE(cell.error.reason.find("wall-clock"), std::string::npos);
+}
+
+TEST(Supervisor, NonSimErrorExceptionsAreTypedAsWorkerFailures)
+{
+    SupervisorConfig cfg;
+    cfg.maxAttempts = 1;
+    cfg.preAttempt = [](const std::string &, const std::string &,
+                        unsigned) {
+        throw std::runtime_error("worker fell over");
+    };
+    SweepReport report =
+        runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                            specsByName({"none"}), quick(), cfg);
+    const CellResult &cell = cellOf(report, "none", "mcf-like.472");
+    EXPECT_EQ(cell.outcome, CellOutcome::Quarantined);
+    EXPECT_EQ(cell.error.kind, verify::ErrorKind::Worker);
+    EXPECT_NE(cell.error.reason.find("fell over"), std::string::npos);
+}
+
+} // namespace berti::harness

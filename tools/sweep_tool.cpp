@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Crash-safe sweep CLI over the supervised worker layer: runs a
+ * (workload x spec) matrix with a content-addressed result store, so a
+ * killed sweep resumes from its completed cells, deterministic
+ * failures are retried with backoff and then quarantined, and the
+ * final matrix is emitted as per-cell JSON sidecars byte-identical to
+ * an uninterrupted run.
+ *
+ * Usage:
+ *   sweep_tool [options]
+ *     --workloads=a,b,c     workload names (default: a small trio)
+ *     --specs=x,y           prefetcher specs (default: none,berti)
+ *     --store=DIR           result store directory (enables resume)
+ *     --out=DIR             write per-cell resultSnapshot JSON here
+ *     --warmup=N --measure=N --dram-mtps=N
+ *     --jobs=N              worker threads (0 = auto)
+ *     --attempts=N          max attempts per cell (default 3)
+ *     --deadline-ms=N       per-simulation wall-clock budget
+ *     --backoff-ms=N        base retry backoff (default 10)
+ *     --rerun-failed        retry cells quarantined by earlier sweeps
+ *     --poison=SPEC/WORKLOAD  deterministically fail that cell (tests)
+ *     --quick               tiny warmup/measure for smoke tests
+ *
+ * Exit status: 0 all cells ok, 2 when any cell is quarantined (the
+ * rest of the matrix still completed and was stored), 1 on usage or
+ * structural errors.
+ */
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
+#include "harness/result_store.hh"
+#include "harness/supervisor.hh"
+#include "obs/export.hh"
+#include "trace/registry.hh"
+#include "verify/sim_error.hh"
+
+namespace
+{
+
+using namespace berti;
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+struct Options
+{
+    std::vector<std::string> workloads = {"mcf-like.472",
+                                          "bwaves-like.2609",
+                                          "cactu-like.709"};
+    std::vector<std::string> specs = {"none", "berti"};
+    std::string storeDir;
+    std::string outDir;
+    SimParams params;
+    unsigned jobs = 0;
+    unsigned attempts = 3;
+    std::uint64_t backoffMs = 10;
+    bool rerunFailed = false;
+    std::string poisonSpec;
+    std::string poisonWorkload;
+};
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    auto valueOf = [](const std::string &arg, const std::string &flag,
+                      std::string &out) {
+        if (arg.compare(0, flag.size(), flag) != 0)
+            return false;
+        out = arg.substr(flag.size());
+        return true;
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string v;
+        if (valueOf(arg, "--workloads=", v)) {
+            opt.workloads = splitList(v);
+        } else if (valueOf(arg, "--specs=", v)) {
+            opt.specs = splitList(v);
+        } else if (valueOf(arg, "--store=", v)) {
+            opt.storeDir = v;
+        } else if (valueOf(arg, "--out=", v)) {
+            opt.outDir = v;
+        } else if (valueOf(arg, "--warmup=", v)) {
+            opt.params.warmupInstructions = std::stoull(v);
+        } else if (valueOf(arg, "--measure=", v)) {
+            opt.params.measureInstructions = std::stoull(v);
+        } else if (valueOf(arg, "--dram-mtps=", v)) {
+            opt.params.dramMtps = static_cast<unsigned>(std::stoul(v));
+        } else if (valueOf(arg, "--jobs=", v)) {
+            opt.jobs = static_cast<unsigned>(std::stoul(v));
+        } else if (valueOf(arg, "--attempts=", v)) {
+            opt.attempts = static_cast<unsigned>(std::stoul(v));
+        } else if (valueOf(arg, "--deadline-ms=", v)) {
+            opt.params.wallClockBudgetMs = std::stoull(v);
+        } else if (valueOf(arg, "--backoff-ms=", v)) {
+            opt.backoffMs = std::stoull(v);
+        } else if (arg == "--rerun-failed") {
+            opt.rerunFailed = true;
+        } else if (valueOf(arg, "--poison=", v)) {
+            std::size_t slash = v.find('/');
+            if (slash == std::string::npos) {
+                std::cerr << "error: --poison needs SPEC/WORKLOAD\n";
+                return false;
+            }
+            opt.poisonSpec = v.substr(0, slash);
+            opt.poisonWorkload = v.substr(slash + 1);
+        } else if (arg == "--quick") {
+            opt.params.warmupInstructions = 2000;
+            opt.params.measureInstructions = 10000;
+        } else {
+            std::cerr << "error: unknown argument '" << arg << "'\n";
+            return false;
+        }
+    }
+    return !opt.workloads.empty() && !opt.specs.empty();
+}
+
+/** Sidecar path for one cell under --out (no store key in the name:
+ *  the layout is byte-comparable across runs with `diff -r`). */
+std::string
+sidecarPath(const std::string &dir, const std::string &spec,
+            const std::string &workload)
+{
+    return dir + "/" + spec + "__" + workload + ".json";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 1;
+
+    try {
+        std::vector<Workload> workloads;
+        for (const std::string &name : opt.workloads)
+            workloads.push_back(findWorkload(name));
+        std::vector<PrefetcherSpec> specs;
+        for (const std::string &name : opt.specs)
+            specs.push_back(makeSpec(name));
+
+        std::unique_ptr<harness::ResultStore> store;
+        if (!opt.storeDir.empty()) {
+            store = std::make_unique<harness::ResultStore>(opt.storeDir);
+            if (store->staleTempFilesRemoved() > 0) {
+                std::cerr << "sweep: removed "
+                          << store->staleTempFilesRemoved()
+                          << " stale .tmp file(s) from "
+                          << opt.storeDir << "\n";
+            }
+        }
+
+        harness::SupervisorConfig sup;
+        sup.maxAttempts = opt.attempts;
+        sup.backoffBaseMs = opt.backoffMs;
+        sup.store = store.get();
+        sup.rerunFailed = opt.rerunFailed;
+        sup.jobs = opt.jobs;
+        sup.progress = stderrProgress("sweep");
+        if (!opt.poisonSpec.empty()) {
+            std::string pspec = opt.poisonSpec;
+            std::string pworkload = opt.poisonWorkload;
+            sup.preAttempt = [pspec, pworkload](
+                                 const std::string &workload,
+                                 const std::string &spec, unsigned) {
+                if (spec == pspec && workload == pworkload) {
+                    throw verify::SimError(
+                        verify::ErrorKind::Fault, "sweep_tool",
+                        "cell poisoned by --poison (deterministic "
+                        "failure for crash-safety tests)");
+                }
+            };
+        }
+
+        harness::SweepReport report = harness::runSupervisedMatrix(
+            workloads, specs, opt.params, sup);
+
+        for (std::size_t s = 0; s < report.cells.size(); ++s) {
+            for (const harness::CellResult &cell : report.cells[s]) {
+                if (cell.ok() && !opt.outDir.empty()) {
+                    obs::writeFile(
+                        sidecarPath(opt.outDir, cell.spec, cell.workload),
+                        obs::toJson(resultSnapshot(cell.result)) + "\n");
+                }
+                if (!cell.ok()) {
+                    std::cerr << "sweep: cell " << cell.spec << "/"
+                              << cell.workload << " "
+                              << harness::cellOutcomeName(cell.outcome)
+                              << " ["
+                              << verify::errorKindName(cell.error.kind)
+                              << "] " << cell.error.reason << "\n";
+                }
+            }
+        }
+
+        std::cout << "sweep: " << report.summary() << "\n";
+        if (store) {
+            std::cout << "sweep: store=" << store->directory()
+                      << " code=" << harness::resultStoreCodeVersion()
+                      << " params="
+                      << harness::paramsFingerprint(opt.params) << "\n";
+        }
+        return report.quarantined + report.skippedQuarantined > 0 ? 2 : 0;
+    } catch (const verify::SimError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
