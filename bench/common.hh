@@ -78,7 +78,11 @@ writeStatsSidecars(const std::vector<Workload> &workloads,
 }
 
 /** Default region-of-interest sizes for bench runs. Set
- *  BERTI_BENCH_QUICK=1 (or pass --quick) for a fast smoke pass. */
+ *  BERTI_BENCH_QUICK=1 (or pass --quick) for a fast smoke pass, and
+ *  BERTI_SAMPLE_WINDOWS=N (or --sample-windows=N) to replace the long
+ *  measurement region with N sampled windows — every bench then
+ *  regenerates its figure from windowed samples at a fraction of the
+ *  simulated instructions, stored under distinct result-store keys. */
 inline SimParams
 defaultParams(const sim::SimOptions &opt = sim::SimOptions::fromEnv())
 {
@@ -88,6 +92,15 @@ defaultParams(const sim::SimOptions &opt = sim::SimOptions::fromEnv())
     if (opt.benchQuick) {
         p.warmupInstructions = 10000;
         p.measureInstructions = 40000;
+    }
+    if (opt.sampleWindows > 0) {
+        p.sampling.windowCount = opt.sampleWindows;
+        p.sampling.windowWarmup = opt.sampleWarmup;
+        p.sampling.windowMeasure = opt.sampleMeasure;
+        p.sampling.windowStride = opt.sampleStride;
+        // Sampling exists to cut simulated instructions; the global
+        // warmup shrinks with it (windows re-warm locally).
+        p.warmupInstructions = opt.benchQuick ? 4000 : 8000;
     }
     return p;
 }

@@ -11,63 +11,76 @@
 #
 # The bench binaries fan (workload, spec) cells out over a worker pool;
 # BERTI_JOBS caps the pool (default: all hardware threads).
+#
+# Sampled mode: set BERTI_SAMPLE_WINDOWS=N (plus optionally
+# BERTI_SAMPLE_WARMUP / BERTI_SAMPLE_MEASURE / BERTI_SAMPLE_STRIDE) and
+# every bench measures N sampled windows instead of the full region of
+# interest — regenerating the figure matrix at a fraction of the
+# simulated instructions. Sampled outputs land under results-sampled/
+# so they never mix with (or satisfy the resume check of) full runs.
 BERTI_JOBS="${BERTI_JOBS:-$(nproc 2>/dev/null || echo 1)}"
 export BERTI_JOBS
 
-mkdir -p results results/log
+results="results"
+if [ -n "${BERTI_SAMPLE_WINDOWS:-}" ] && [ "${BERTI_SAMPLE_WINDOWS}" != "0" ]; then
+    results="results-sampled"
+    echo "=== sampled mode: BERTI_SAMPLE_WINDOWS=$BERTI_SAMPLE_WINDOWS, writing to $results/"
+fi
+
+mkdir -p "$results" "$results/log"
 # Sweep staging files left by a previous invocation that was killed
 # mid-write (both the script's own .txt.tmp files and the atomic-write
-# .json.tmp files under results/stats/). Completed outputs never carry
+# .json.tmp files under $results/stats/). Completed outputs never carry
 # the .tmp suffix, so this only ever removes torn partials.
-find results -name '*.tmp' -type f -exec rm -f {} + 2>/dev/null
+find "$results" -name '*.tmp' -type f -exec rm -f {} + 2>/dev/null
 failed=""
 for b in build/bench/*; do
     n=$(basename "$b")
     { [ -f "$b" ] && [ -x "$b" ]; } || continue
     [ "$n" = "micro_prefetchers" ] && continue
     [ "$n" = "perf_simspeed" ] && continue
-    [ -s "results/$n.txt" ] && continue
+    [ -s "$results/$n.txt" ] && continue
     echo "=== $n start $(date +%T) (BERTI_JOBS=$BERTI_JOBS)"
-    tmp="results/.$n.txt.tmp"
+    tmp="$results/.$n.txt.tmp"
     # Machine-diffable JSON stats sidecars, one per (spec, workload)
     # cell, next to the human-readable table output.
-    BERTI_STATS_DIR="results/stats/$n"
+    BERTI_STATS_DIR="$results/stats/$n"
     export BERTI_STATS_DIR
-    if "./build/bench/$n" > "$tmp" 2> "results/log/$n.stderr"; then
-        mv "$tmp" "results/$n.txt"
+    if "./build/bench/$n" > "$tmp" 2> "$results/log/$n.stderr"; then
+        mv "$tmp" "$results/$n.txt"
         echo "=== $n done $(date +%T)"
     else
         rc=$?
         rm -f "$tmp"
         failed="$failed $n"
-        echo "=== $n FAILED rc=$rc $(date +%T) (see results/log/$n.stderr)"
+        echo "=== $n FAILED rc=$rc $(date +%T) (see $results/log/$n.stderr)"
     fi
 done
-# Simulator-speed harness: human table to results/perf_simspeed.txt plus
+# Simulator-speed harness: human table to $results/perf_simspeed.txt plus
 # the JSON artifact, collected via temp-file+mv so an interrupted run
 # never leaves a partial BENCH_simspeed.json behind.
-if [ ! -s results/BENCH_simspeed.json ]; then
-    tmp="results/.perf_simspeed.txt.tmp"
-    tmpjson="results/.BENCH_simspeed.json.tmp"
+if [ ! -s "$results/BENCH_simspeed.json" ]; then
+    tmp="$results/.perf_simspeed.txt.tmp"
+    tmpjson="$results/.BENCH_simspeed.json.tmp"
     if ./build/bench/perf_simspeed "--out=$tmpjson" > "$tmp" \
-        2> results/log/perf_simspeed.stderr; then
-        mv "$tmpjson" results/BENCH_simspeed.json
-        mv "$tmp" results/perf_simspeed.txt
+        2> "$results/log/perf_simspeed.stderr"; then
+        mv "$tmpjson" "$results/BENCH_simspeed.json"
+        mv "$tmp" "$results/perf_simspeed.txt"
     else
         rm -f "$tmp" "$tmpjson"
         failed="$failed perf_simspeed"
-        echo "=== perf_simspeed FAILED (see results/log/perf_simspeed.stderr)"
+        echo "=== perf_simspeed FAILED (see $results/log/perf_simspeed.stderr)"
     fi
 fi
-if [ ! -s results/micro_prefetchers.txt ]; then
-    tmp="results/.micro_prefetchers.txt.tmp"
+if [ ! -s "$results/micro_prefetchers.txt" ]; then
+    tmp="$results/.micro_prefetchers.txt.tmp"
     if ./build/bench/micro_prefetchers --benchmark_min_time=0.1s \
-        > "$tmp" 2> results/log/micro_prefetchers.stderr; then
-        mv "$tmp" results/micro_prefetchers.txt
+        > "$tmp" 2> "$results/log/micro_prefetchers.stderr"; then
+        mv "$tmp" "$results/micro_prefetchers.txt"
     else
         rm -f "$tmp"
         failed="$failed micro_prefetchers"
-        echo "=== micro_prefetchers FAILED (see results/log/micro_prefetchers.stderr)"
+        echo "=== micro_prefetchers FAILED (see $results/log/micro_prefetchers.stderr)"
     fi
 fi
 if [ -n "$failed" ]; then

@@ -1,5 +1,7 @@
 #include "harness/experiment.hh"
 
+#include <cmath>
+
 #include "prefetch/registry.hh"
 #include "verify/sim_error.hh"
 
@@ -20,6 +22,89 @@ std::uint64_t
 bitsOf(const PrefetcherFactory &f)
 {
     return f ? f()->storageBits() : 0;
+}
+
+/** The Table II machine configured for one simulation call. */
+MachineConfig
+machineConfigFor(const PrefetcherSpec &spec, const SimParams &params,
+                 unsigned cores)
+{
+    MachineConfig cfg = MachineConfig::sunnyCove(cores);
+    cfg.dram.mtps = params.dramMtps;
+    cfg.l1dPrefetcher = spec.l1d;
+    cfg.l2Prefetcher = spec.l2;
+    if (params.forceAudit)
+        cfg.audit.enabled = true;
+    cfg.faults = params.faults;
+    cfg.wallClockBudgetMs = params.wallClockBudgetMs;
+    return cfg;
+}
+
+/** Derive ipc + energy from an already-filled ROI. */
+SimResult
+finishResult(RunStats roi)
+{
+    SimResult r;
+    r.roi = roi;
+    r.ipc = r.roi.core.ipc();
+    r.energy = EnergyModel{}.evaluate(r.roi);
+    return r;
+}
+
+/** A degenerate geometry measures nothing or overlaps its own windows;
+ *  fail typed and loud instead of producing a silently-wrong sample. */
+void
+validateGeometry(const SampleGeometry &g)
+{
+    if (!g.enabled()) {
+        throw verify::SimError(
+            verify::ErrorKind::Config, "experiment",
+            "sampled simulation requested with windowCount == 0");
+    }
+    if (g.windowMeasure == 0) {
+        throw verify::SimError(
+            verify::ErrorKind::Config, "experiment",
+            "sampling windowMeasure must be positive — a window that "
+            "measures 0 instructions contributes nothing");
+    }
+    if (g.stride() < g.windowWarmup + g.windowMeasure) {
+        throw verify::SimError(
+            verify::ErrorKind::Config, "experiment",
+            "sampling stride " + std::to_string(g.stride()) +
+                " is shorter than one window (warmup " +
+                std::to_string(g.windowWarmup) + " + measure " +
+                std::to_string(g.windowMeasure) +
+                ") — windows would overlap");
+    }
+}
+
+std::string
+windowCheckpointPath(const std::string &dir, unsigned window)
+{
+    return dir + "/window-" + std::to_string(window) + ".ckpt";
+}
+
+/** Mean / sample stddev / 95% half-width over the per-window IPCs. */
+void
+computeDispersion(SampledResult &s)
+{
+    const std::size_t n = s.windows.size();
+    if (n == 0)
+        return;
+    double sum = 0.0;
+    for (const SimResult &w : s.windows)
+        sum += w.ipc;
+    s.ipcMean = sum / static_cast<double>(n);
+    if (n > 1) {
+        double sq = 0.0;
+        for (const SimResult &w : s.windows) {
+            double d = w.ipc - s.ipcMean;
+            sq += d * d;
+        }
+        s.ipcStddev = std::sqrt(sq / static_cast<double>(n - 1));
+        s.ipcCiHalfWidth =
+            1.96 * s.ipcStddev / std::sqrt(static_cast<double>(n));
+    }
 }
 
 } // namespace
@@ -79,42 +164,184 @@ SimResult
 simulate(const Workload &workload, const PrefetcherSpec &spec,
          const SimParams &params)
 {
+    if (params.sampling.enabled())
+        return simulateSampled(workload, spec, params).aggregate;
+
     auto gen = workload.make();
-    MachineConfig cfg = MachineConfig::sunnyCove(1);
-    cfg.dram.mtps = params.dramMtps;
-    cfg.l1dPrefetcher = spec.l1d;
-    cfg.l2Prefetcher = spec.l2;
-    if (params.forceAudit)
-        cfg.audit.enabled = true;
-    cfg.faults = params.faults;
-    cfg.wallClockBudgetMs = params.wallClockBudgetMs;
+    MachineConfig cfg = machineConfigFor(spec, params, 1);
 
     Machine machine(cfg, {gen.get()});
     machine.run(params.warmupInstructions);
     RunStats start = machine.liveStats(0);
     machine.run(params.measureInstructions);
     RunStats end = machine.liveStats(0);
+    return finishResult(end.diff(start));
+}
 
-    SimResult r;
-    r.roi = end.diff(start);
-    r.ipc = r.roi.core.ipc();
-    r.energy = EnergyModel{}.evaluate(r.roi);
-    return r;
+SampledResult
+simulateSampled(const Workload &workload, const PrefetcherSpec &spec,
+                const SimParams &params)
+{
+    const SampleGeometry &g = params.sampling;
+    validateGeometry(g);
+
+    auto gen = workload.make();
+    MachineConfig cfg = machineConfigFor(spec, params, 1);
+    Machine machine(cfg, {gen.get()});
+
+    if (!g.checkpointDir.empty()) {
+        std::string why;
+        if (!machine.checkpointSupported(&why)) {
+            throw verify::SimError(
+                verify::ErrorKind::Checkpoint, "experiment",
+                "sampling checkpointDir is set but this machine cannot "
+                "checkpoint: " + why);
+        }
+    }
+
+    machine.run(params.warmupInstructions);
+
+    SampledResult out;
+    out.windows.reserve(g.windowCount);
+    out.windowStartInstruction.reserve(g.windowCount);
+    const std::uint64_t window_span = g.windowWarmup + g.windowMeasure;
+    for (unsigned k = 0; k < g.windowCount; ++k) {
+        // Window boundary: persist the warm microarchitectural state so
+        // this window can be re-simulated in isolation later.
+        if (!g.checkpointDir.empty())
+            machine.saveCheckpoint(windowCheckpointPath(g.checkpointDir, k));
+
+        if (g.windowWarmup > 0)
+            machine.run(g.windowWarmup);
+        RunStats start = machine.liveStats(0);
+        out.windowStartInstruction.push_back(start.core.instructions);
+        machine.run(g.windowMeasure);
+        RunStats end = machine.liveStats(0);
+        out.windows.push_back(finishResult(end.diff(start)));
+
+        // Simulated-but-unmeasured gap to the next window start.
+        std::uint64_t gap = g.stride() - window_span;
+        if (k + 1 < g.windowCount && gap > 0)
+            machine.run(gap);
+    }
+
+    for (const SimResult &w : out.windows)
+        out.aggregate.roi.add(w.roi);
+    out.aggregate = finishResult(out.aggregate.roi);
+    out.instructionsSimulated = machine.liveStats(0).core.instructions;
+    computeDispersion(out);
+    return out;
+}
+
+std::vector<SampledResult>
+simulateMixSampled(const std::vector<Workload> &mix,
+                   const PrefetcherSpec &spec, const SimParams &params)
+{
+    const SampleGeometry &g = params.sampling;
+    validateGeometry(g);
+    if (!g.checkpointDir.empty()) {
+        throw verify::SimError(
+            verify::ErrorKind::Config, "experiment",
+            "per-window checkpoints are single-core only: "
+            "resumeSampledWindow cannot rebuild a mix machine");
+    }
+
+    MachineConfig cfg = machineConfigFor(
+        spec, params, static_cast<unsigned>(mix.size()));
+
+    std::vector<std::unique_ptr<TraceGenerator>> gens;
+    std::vector<TraceGenerator *> gen_ptrs;
+    for (const auto &w : mix) {
+        gens.push_back(w.make());
+        gen_ptrs.push_back(gens.back().get());
+    }
+
+    Machine machine(cfg, gen_ptrs);
+    machine.run(params.warmupInstructions);
+
+    std::vector<SampledResult> out(mix.size());
+    const std::uint64_t window_span = g.windowWarmup + g.windowMeasure;
+    for (unsigned k = 0; k < g.windowCount; ++k) {
+        if (g.windowWarmup > 0)
+            machine.run(g.windowWarmup);
+        std::vector<RunStats> start;
+        for (unsigned c = 0; c < mix.size(); ++c)
+            start.push_back(machine.coreSnapshot(c));
+        machine.run(g.windowMeasure);
+        for (unsigned c = 0; c < mix.size(); ++c) {
+            RunStats roi = machine.coreSnapshot(c).diff(start[c]);
+            out[c].windowStartInstruction.push_back(
+                start[c].core.instructions);
+            out[c].windows.push_back(finishResult(roi));
+        }
+        std::uint64_t gap = g.stride() - window_span;
+        if (k + 1 < g.windowCount && gap > 0)
+            machine.run(gap);
+    }
+
+    for (unsigned c = 0; c < mix.size(); ++c) {
+        for (const SimResult &w : out[c].windows)
+            out[c].aggregate.roi.add(w.roi);
+        out[c].aggregate = finishResult(out[c].aggregate.roi);
+        out[c].instructionsSimulated =
+            machine.liveStats(c).core.instructions;
+        computeDispersion(out[c]);
+    }
+    return out;
+}
+
+SimResult
+resumeSampledWindow(const Workload &workload, const PrefetcherSpec &spec,
+                    const SimParams &params,
+                    const std::string &checkpointPath)
+{
+    validateGeometry(params.sampling);
+
+    auto gen = workload.make();
+    MachineConfig cfg = machineConfigFor(spec, params, 1);
+    Machine machine(cfg, {gen.get()});
+    machine.resumeFrom(checkpointPath);
+
+    if (params.sampling.windowWarmup > 0)
+        machine.run(params.sampling.windowWarmup);
+    RunStats start = machine.liveStats(0);
+    machine.run(params.sampling.windowMeasure);
+    RunStats end = machine.liveStats(0);
+    return finishResult(end.diff(start));
+}
+
+SampledError
+sampledVsFull(const SampledResult &sampled, const SimResult &full)
+{
+    SampledError e;
+    if (full.ipc > 0.0)
+        e.ipcRel = std::abs(sampled.aggregate.ipc - full.ipc) / full.ipc;
+    double full_mpki =
+        full.roi.l1d.mpki(full.roi.core.instructions);
+    double sampled_mpki = sampled.aggregate.roi.l1d.mpki(
+        sampled.aggregate.roi.core.instructions);
+    e.l1dMpkiAbs = std::abs(sampled_mpki - full_mpki);
+    e.accuracyAbs = std::abs(sampled.aggregate.roi.l1d.accuracy() -
+                             full.roi.l1d.accuracy());
+    return e;
 }
 
 std::vector<SimResult>
 simulateMix(const std::vector<Workload> &mix, const PrefetcherSpec &spec,
             const SimParams &params)
 {
-    MachineConfig cfg =
-        MachineConfig::sunnyCove(static_cast<unsigned>(mix.size()));
-    cfg.dram.mtps = params.dramMtps;
-    cfg.l1dPrefetcher = spec.l1d;
-    cfg.l2Prefetcher = spec.l2;
-    if (params.forceAudit)
-        cfg.audit.enabled = true;
-    cfg.faults = params.faults;
-    cfg.wallClockBudgetMs = params.wallClockBudgetMs;
+    if (params.sampling.enabled()) {
+        std::vector<SampledResult> sampled =
+            simulateMixSampled(mix, spec, params);
+        std::vector<SimResult> out;
+        out.reserve(sampled.size());
+        for (SampledResult &s : sampled)
+            out.push_back(std::move(s.aggregate));
+        return out;
+    }
+
+    MachineConfig cfg = machineConfigFor(
+        spec, params, static_cast<unsigned>(mix.size()));
 
     std::vector<std::unique_ptr<TraceGenerator>> gens;
     std::vector<TraceGenerator *> gen_ptrs;
@@ -131,13 +358,8 @@ simulateMix(const std::vector<Workload> &mix, const PrefetcherSpec &spec,
     machine.run(params.measureInstructions);
 
     std::vector<SimResult> out;
-    for (unsigned c = 0; c < mix.size(); ++c) {
-        SimResult r;
-        r.roi = machine.coreSnapshot(c).diff(start[c]);
-        r.ipc = r.roi.core.ipc();
-        r.energy = EnergyModel{}.evaluate(r.roi);
-        out.push_back(r);
-    }
+    for (unsigned c = 0; c < mix.size(); ++c)
+        out.push_back(finishResult(machine.coreSnapshot(c).diff(start[c])));
     return out;
 }
 
@@ -166,8 +388,19 @@ speedupGeomean(const std::vector<SimResult> &test,
     }
     std::vector<double> speedups;
     for (std::size_t i = 0; i < test.size(); ++i) {
-        if (baseline[i].ipc > 0.0)
-            speedups.push_back(test[i].ipc / baseline[i].ipc);
+        if (baseline[i].ipc <= 0.0) {
+            // A non-positive baseline IPC means that workload never
+            // simulated (or retired nothing); skipping it would quietly
+            // drop it from the geomean, biasing the figure.
+            throw verify::SimError(
+                verify::ErrorKind::Config, "experiment",
+                "speedupGeomean: baseline result " + std::to_string(i) +
+                    " has non-positive IPC (" +
+                    std::to_string(baseline[i].ipc) +
+                    ") — that workload would be silently dropped from "
+                    "the geomean");
+        }
+        speedups.push_back(test[i].ipc / baseline[i].ipc);
     }
     return geomean(speedups.data(), speedups.size());
 }

@@ -54,6 +54,50 @@ struct SimResult
     EnergyBreakdown energy;
 };
 
+/**
+ * Interval-sampling geometry (ARCHITECTURE.md, "Sampled simulation
+ * intervals"). When enabled, simulate() replaces the single long
+ * measurement region with windowCount measurement windows laid out over
+ * the same generator stream: after the global warmup, window k starts
+ * at instruction offset k * stride(), runs windowWarmup unmeasured
+ * instructions to settle transient state, then measures windowMeasure
+ * instructions. The aggregate over the windows reproduces the full-run
+ * metrics within a small relative error at a fraction of the simulated
+ * instructions.
+ */
+struct SampleGeometry
+{
+    /** Measurement windows; 0 disables sampling (full-run behaviour). */
+    unsigned windowCount = 0;
+    /** Unmeasured settle instructions at the head of each window. */
+    std::uint64_t windowWarmup = 1000;
+    /** Measured instructions per window (> 0 when enabled). */
+    std::uint64_t windowMeasure = 8000;
+    /** Window-start-to-window-start distance in instructions; 0 means
+     *  back-to-back (windowWarmup + windowMeasure). Must cover one
+     *  whole window — the gap instructions are simulated, unmeasured. */
+    std::uint64_t windowStride = 0;
+    /**
+     * When non-empty, Machine checkpoints are saved as
+     * <dir>/window-<k>.ckpt at each window start (before the window
+     * warmup), so any window can later be re-simulated in isolation via
+     * resumeSampledWindow(). Requires a checkpoint-capable machine
+     * (see Machine::checkpointSupported). Never part of the result-store
+     * fingerprint: checkpointing does not perturb simulated behaviour.
+     */
+    std::string checkpointDir;
+
+    bool enabled() const { return windowCount > 0; }
+
+    /** Canonical stride: the explicit one, or back-to-back windows. */
+    std::uint64_t
+    stride() const
+    {
+        return windowStride != 0 ? windowStride
+                                 : windowWarmup + windowMeasure;
+    }
+};
+
 /** Simulation lengths. Small by ChampSim standards but the generators
  *  are stationary, so measurements stabilise quickly. */
 struct SimParams
@@ -61,6 +105,11 @@ struct SimParams
     std::uint64_t warmupInstructions = 50000;
     std::uint64_t measureInstructions = 250000;
     unsigned dramMtps = 6400;
+
+    /** Interval sampling; disabled (full-run measurement) by default.
+     *  The geometry is part of paramsFingerprint(), so sampled and
+     *  full-run cells never collide in the result store. */
+    SampleGeometry sampling;
 
     /** Force invariant auditing on (in addition to BERTI_VERIFY=1). */
     bool forceAudit = false;
@@ -93,14 +142,101 @@ obs::MetricsSnapshot resultSnapshot(const SimResult &result);
  */
 SimResult resultFromSnapshot(const obs::MetricsSnapshot &snap);
 
-/** Run one workload on the Table II machine with the given spec. */
+/**
+ * Run one workload on the Table II machine with the given spec. When
+ * params.sampling is enabled this is simulateSampled(...).aggregate —
+ * every caller of simulate() (benches, supervisor, parallel matrices)
+ * gets windowed sampling by flipping the params, with the result-store
+ * key diverging automatically via paramsFingerprint().
+ */
 SimResult simulate(const Workload &workload, const PrefetcherSpec &spec,
                    const SimParams &params = {});
 
-/** Multi-core: one workload per core, shared LLC/DRAM. */
+/** Multi-core: one workload per core, shared LLC/DRAM. Sampling-aware
+ *  like simulate(): enabled sampling aggregates per-core windows. */
 std::vector<SimResult> simulateMix(const std::vector<Workload> &mix,
                                    const PrefetcherSpec &spec,
                                    const SimParams &params = {});
+
+/**
+ * One windowed-sampling run (params.sampling must be enabled): the
+ * per-window ROI results, their aggregate (a drop-in SimResult whose
+ * counters are the component-wise sum over the measured windows), and
+ * the dispersion statistics that turn the window sample into an error
+ * estimate for the full-run value.
+ */
+struct SampledResult
+{
+    /** Per-window ROI results, in stream order. */
+    std::vector<SimResult> windows;
+    /** Instructions core 0 had retired when each window's measured
+     *  region began (after the window warmup). */
+    std::vector<std::uint64_t> windowStartInstruction;
+
+    /** Windows summed; usable anywhere a full-run SimResult is. */
+    SimResult aggregate;
+
+    /** Total instructions actually simulated (global warmup + every
+     *  window + inter-window gaps) — the cost side of the sampling
+     *  trade, vs warmup + measure for a full run. */
+    std::uint64_t instructionsSimulated = 0;
+
+    /** Mean / sample stddev of the per-window IPCs, and the 95%
+     *  confidence half-width (normal approximation,
+     *  1.96 * stddev / sqrt(windows)). */
+    double ipcMean = 0.0;
+    double ipcStddev = 0.0;
+    double ipcCiHalfWidth = 0.0;
+
+    /** ipcCiHalfWidth / ipcMean: the relative confidence bound the
+     *  sampled estimate claims for itself (0 when the mean is 0). */
+    double ipcRelCi() const
+    {
+        return ipcMean > 0.0 ? ipcCiHalfWidth / ipcMean : 0.0;
+    }
+};
+
+/**
+ * Windowed-sampling simulation of one workload. Throws
+ * verify::SimError(ErrorKind::Config) on a degenerate geometry
+ * (no windows, empty measured region, stride shorter than a window)
+ * and ErrorKind::Checkpoint when checkpointDir is set on a machine
+ * that cannot checkpoint (fault injection, non-serializable spec).
+ */
+SampledResult simulateSampled(const Workload &workload,
+                              const PrefetcherSpec &spec,
+                              const SimParams &params);
+
+/** Multi-core windowed sampling: out[i] is core i's SampledResult over
+ *  the shared-machine windows (snapshots via Machine::coreSnapshot). */
+std::vector<SampledResult> simulateMixSampled(
+    const std::vector<Workload> &mix, const PrefetcherSpec &spec,
+    const SimParams &params);
+
+/**
+ * Re-simulate one measurement window in isolation from the warm-state
+ * checkpoint simulateSampled() saved at its start (single-core). The
+ * returned window ROI is bit-identical to windows[k] of the sampled run
+ * that wrote <checkpointDir>/window-<k>.ckpt — the resume path a sweep
+ * uses to recompute or extend individual windows without replaying the
+ * stream prefix.
+ */
+SimResult resumeSampledWindow(const Workload &workload,
+                              const PrefetcherSpec &spec,
+                              const SimParams &params,
+                              const std::string &checkpointPath);
+
+/** Sampled-vs-full error summary for the metrics the figures gate on. */
+struct SampledError
+{
+    double ipcRel = 0.0;       //!< |sampled - full| / full IPC
+    double l1dMpkiAbs = 0.0;   //!< |sampled - full| L1D demand MPKI
+    double accuracyAbs = 0.0;  //!< |sampled - full| L1D pf accuracy
+};
+
+/** Compare a sampled aggregate against a full-run reference result. */
+SampledError sampledVsFull(const SampledResult &sampled,
+                           const SimResult &full);
 
 /** results[i] = simulate(workloads[i], spec). */
 std::vector<SimResult> runSuite(const std::vector<Workload> &workloads,

@@ -80,6 +80,18 @@ paramsFingerprint(const SimParams &params)
     h.add(params.warmupInstructions);
     h.add(params.measureInstructions);
     h.add(static_cast<std::uint64_t>(params.dramMtps));
+    // Sampling geometry, canonicalised so equivalent geometries share a
+    // key: disabled sampling hashes as all-zero regardless of the
+    // (ignored) window fields, an explicit stride equal to the implied
+    // back-to-back stride hashes like stride 0, and checkpointDir is
+    // excluded because checkpointing never perturbs results. Sampled
+    // and full-run cells can therefore never collide.
+    const SampleGeometry &g = params.sampling;
+    bool on = g.enabled();
+    h.add(static_cast<std::uint64_t>(on ? g.windowCount : 0));
+    h.add(on ? g.windowWarmup : 0);
+    h.add(on ? g.windowMeasure : 0);
+    h.add(on ? g.stride() : 0);
     return h.value();
 }
 

@@ -48,7 +48,15 @@ struct StoreKey
     std::string describe() const;
 };
 
-/** Fingerprint of the SimParams fields that affect cell results. */
+/**
+ * Fingerprint of the SimParams fields that affect cell results:
+ * warmup/measure lengths, DRAM speed, and — since the sampled-interval
+ * harness landed — the canonical sampling geometry (window count,
+ * per-window warmup/measure, stride), so sampled and full-run cells
+ * always address distinct store entries. Changing any of these
+ * invalidated every pre-sampling store key once, by design: old caches
+ * recompute rather than risk serving results from different params.
+ */
 std::uint64_t paramsFingerprint(const SimParams &params);
 
 /**

@@ -13,12 +13,15 @@ std::uint64_t
 backoffForAttempt(const SupervisorConfig &cfg, unsigned attempt)
 {
     // Backoff before retry `attempt` (2-based: no wait before the
-    // first attempt): base << (attempt - 2), capped.
+    // first attempt): base << (attempt - 2), capped. The shift can wrap
+    // std::uint64_t long before shift 63 when the base is large (e.g.
+    // base 1000 ms has wrapped to 0 by shift 61), which would collapse
+    // the capped backoff to near zero — so test the cap *before*
+    // shifting, with the division-form comparison that cannot overflow.
     std::uint64_t shift = attempt - 2;
-    if (shift >= 63)
+    if (shift >= 63 || cfg.backoffBaseMs > (cfg.backoffMaxMs >> shift))
         return cfg.backoffMaxMs;
-    std::uint64_t ms = cfg.backoffBaseMs << shift;
-    return ms > cfg.backoffMaxMs ? cfg.backoffMaxMs : ms;
+    return cfg.backoffBaseMs << shift;
 }
 
 void
@@ -133,6 +136,18 @@ runSupervisedMatrix(const std::vector<Workload> &workloads,
     if (config.maxAttempts == 0) {
         throw verify::SimError(verify::ErrorKind::Config, "Supervisor",
                                "maxAttempts must be at least 1");
+    }
+    if (config.store && params.faults) {
+        // paramsFingerprint cannot see the injector's configuration or
+        // RNG state, so a fault-perturbed cell would hash to the same
+        // store key as a clean run — poisoning the cache for every
+        // later clean sweep. Refuse the combination outright.
+        throw verify::SimError(
+            verify::ErrorKind::Config, "Supervisor",
+            "a result store cannot be combined with fault injection: "
+            "fault-perturbed results share store keys with clean runs "
+            "and would be served to later clean sweeps — run fault "
+            "campaigns without a store");
     }
 
     SweepReport report;

@@ -81,11 +81,16 @@ struct SupervisorConfig
     unsigned maxAttempts = 3;
 
     /** Backoff before retry k (1-based) is
-     *  min(backoffBaseMs << (k - 1), backoffMaxMs). */
+     *  min(backoffBaseMs << (k - 1), backoffMaxMs), computed
+     *  overflow-safely: any base/shift combination that would wrap
+     *  saturates at backoffMaxMs. */
     std::uint64_t backoffBaseMs = 10;
     std::uint64_t backoffMaxMs = 2000;
 
-    /** Optional result store (null = recompute everything). */
+    /** Optional result store (null = recompute everything). Refused
+     *  (typed Config error) when the SimParams carry a fault injector:
+     *  fault-perturbed results would share store keys with clean runs
+     *  and poison the cache. */
     const ResultStore *store = nullptr;
 
     /** Retry cells an earlier sweep quarantined (clears their markers

@@ -37,6 +37,26 @@ envU64(const char *name, std::uint64_t fallback)
     return static_cast<std::uint64_t>(v);
 }
 
+/**
+ * Non-negative integer parse for the sampling-geometry family, where 0
+ * is meaningful ("sampling off" / "no per-window warmup" / "back-to-back
+ * windows") rather than malformed.
+ */
+std::uint64_t
+envU64Zero(const char *name, std::uint64_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (!raw || !*raw)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(raw, &end, 10);
+    if (!end || *end != '\0') {
+        fail("sampling", std::string(name) + "=\"" + raw +
+                             "\" is not a non-negative integer");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
 /** BERTI_VERIFY-style switch: on iff set, non-empty and not "0". */
 bool
 envSwitch(const char *name)
@@ -86,6 +106,20 @@ SimOptions::fromEnv()
     // off. (There is no "force on" spelling — on is the default.)
     if (const char *skip = std::getenv("BERTI_CYCLE_SKIP"))
         opt.cycleSkip = skip[0] != '0';
+
+    // Interval sampling. Windows/warmup/stride accept 0 (off / no
+    // per-window warmup / back-to-back); the measured length must stay
+    // positive or a "sampled" run would measure nothing.
+    opt.sampleWindows = static_cast<unsigned>(
+        envU64Zero("BERTI_SAMPLE_WINDOWS", opt.sampleWindows));
+    opt.sampleWarmup = envU64Zero("BERTI_SAMPLE_WARMUP", opt.sampleWarmup);
+    opt.sampleMeasure =
+        envU64Zero("BERTI_SAMPLE_MEASURE", opt.sampleMeasure);
+    if (opt.sampleMeasure == 0) {
+        fail("sampling",
+             "BERTI_SAMPLE_MEASURE must be a positive instruction count");
+    }
+    opt.sampleStride = envU64Zero("BERTI_SAMPLE_STRIDE", opt.sampleStride);
 
     // Observability: strict positive-integer parses.
     if (std::getenv("BERTI_OBS_INTERVAL"))
@@ -163,6 +197,38 @@ SimOptions::applyFlag(const std::string &arg)
     }
     if (const char *v = value("--stats-dir=")) {
         statsDir = v;
+        return true;
+    }
+
+    // Sampling geometry mirrors the BERTI_SAMPLE_* family, including
+    // which knobs accept zero.
+    auto u64Flag = [&](const char *text, const char *flag,
+                       bool zero_ok) -> std::uint64_t {
+        char *end = nullptr;
+        unsigned long long parsed = std::strtoull(text, &end, 10);
+        if (!end || *end != '\0' || *text == '\0' ||
+            (!zero_ok && parsed == 0)) {
+            fail("sampling", std::string(flag) + "=\"" + text + "\" is " +
+                                 (zero_ok ? "not a non-negative integer"
+                                          : "not a positive integer"));
+        }
+        return static_cast<std::uint64_t>(parsed);
+    };
+    if (const char *v = value("--sample-windows=")) {
+        sampleWindows = static_cast<unsigned>(
+            u64Flag(v, "--sample-windows", /*zero_ok=*/true));
+        return true;
+    }
+    if (const char *v = value("--sample-warmup=")) {
+        sampleWarmup = u64Flag(v, "--sample-warmup", /*zero_ok=*/true);
+        return true;
+    }
+    if (const char *v = value("--sample-measure=")) {
+        sampleMeasure = u64Flag(v, "--sample-measure", /*zero_ok=*/false);
+        return true;
+    }
+    if (const char *v = value("--sample-stride=")) {
+        sampleStride = u64Flag(v, "--sample-stride", /*zero_ok=*/true);
         return true;
     }
     return false;

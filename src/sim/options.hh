@@ -46,6 +46,23 @@ struct SimOptions
      */
     bool cycleSkip = true;
 
+    // ---------------------------------------------- interval sampling
+    /**
+     * Measurement windows per simulation (BERTI_SAMPLE_WINDOWS); 0
+     * keeps the historical full-run behaviour. When > 0, simulate()
+     * measures windowed samples of the stream instead of one long
+     * region of interest — see ARCHITECTURE.md, "Sampled simulation
+     * intervals".
+     */
+    unsigned sampleWindows = 0;
+    /** Per-window warm (unmeasured) instructions (BERTI_SAMPLE_WARMUP). */
+    std::uint64_t sampleWarmup = 1000;
+    /** Measured instructions per window (BERTI_SAMPLE_MEASURE). */
+    std::uint64_t sampleMeasure = 8000;
+    /** Window-start-to-window-start stride in instructions
+     *  (BERTI_SAMPLE_STRIDE); 0 = back-to-back windows. */
+    std::uint64_t sampleStride = 0;
+
     // ------------------------------------------------- observability
     /** Interval time-series: instructions/sample (BERTI_OBS_INTERVAL);
      *  0 disables sampling. */
@@ -100,9 +117,10 @@ struct SimOptions
     /**
      * Apply one "--key[=value]" override on top of the current values.
      * Recognised: --jobs=N, --quick, --no-cycle-skip, --cycle-skip,
-     * --stats-dir=DIR, --verify. @return false when the flag is not a
-     * SimOptions flag (caller keeps it); malformed values throw
-     * verify::SimError(ErrorKind::Config).
+     * --stats-dir=DIR, --verify, --sample-windows=N, --sample-warmup=N,
+     * --sample-measure=N, --sample-stride=N. @return false when the
+     * flag is not a SimOptions flag (caller keeps it); malformed values
+     * throw verify::SimError(ErrorKind::Config).
      */
     bool applyFlag(const std::string &arg);
 };

@@ -204,6 +204,25 @@ TEST(SpeedupGeomean, MatchesHandComputation)
     EXPECT_NEAR(g, 1.0, 1e-9);
 }
 
+TEST(SpeedupGeomean, NonPositiveBaselineIpcIsHardError)
+{
+    // A crashed or empty baseline cell used to be silently dropped,
+    // quietly shifting the geomean; it must name the offending index.
+    SimResult good, bad;
+    good.ipc = 1.5;
+    bad.ipc = 0.0;
+    try {
+        speedupGeomean({good, good}, {good, bad});
+        FAIL() << "expected verify::SimError";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Config);
+        EXPECT_NE(e.reason().find("baseline result 1"), std::string::npos)
+            << e.reason();
+        EXPECT_NE(e.reason().find("non-positive"), std::string::npos)
+            << e.reason();
+    }
+}
+
 TEST(SpeedupGeomean, SizeMismatchIsHardError)
 {
     SimResult a, b;

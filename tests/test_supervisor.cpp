@@ -21,6 +21,7 @@
 #include "harness/supervisor.hh"
 #include "obs/export.hh"
 #include "trace/registry.hh"
+#include "verify/fault_injector.hh"
 #include "verify/sim_error.hh"
 
 namespace berti::harness
@@ -109,6 +110,65 @@ TEST(Supervisor, TransientFailureIsRetriedWithBackoffThenSucceeds)
     EXPECT_EQ(cell.attempts, 3u);
     // Backoff before retries 2 and 3: 1 ms + 2 ms.
     EXPECT_EQ(cell.backoffMsTotal, 3u);
+    EXPECT_TRUE(report.allOk());
+}
+
+TEST(Supervisor, BackoffSaturatesAtMaxForHugeBase)
+{
+    // backoffBaseMs << shift wraps std::uint64_t long before shift 63
+    // when the base is large; the cap must be applied before shifting.
+    // With this base, the un-capped shift for retry 3 wrapped to 2 ms,
+    // collapsing the "capped" backoff to nearly nothing.
+    SupervisorConfig cfg;
+    cfg.maxAttempts = 3;
+    cfg.backoffBaseMs = (1ull << 63) + 1;
+    cfg.backoffMaxMs = 7;
+    cfg.preAttempt = [](const std::string &, const std::string &,
+                        unsigned) {
+        throw verify::SimError(verify::ErrorKind::Fault, "test",
+                               "always fails");
+    };
+
+    SweepReport report =
+        runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                            specsByName({"none"}), quick(), cfg);
+    const CellResult &cell = cellOf(report, "none", "mcf-like.472");
+    EXPECT_EQ(cell.outcome, CellOutcome::Quarantined);
+    EXPECT_EQ(cell.attempts, 3u);
+    // Both retries wait the full cap: 7 ms + 7 ms.
+    EXPECT_EQ(cell.backoffMsTotal, 14u);
+}
+
+TEST(Supervisor, StoreCombinedWithFaultInjectionIsRefused)
+{
+    // paramsFingerprint cannot see the fault injector, so a perturbed
+    // cell would be cached under the clean key and served to later
+    // clean sweeps. The supervisor refuses the combination outright.
+    ResultStore store(freshDir("berti_sup_faults"));
+    verify::FaultInjector faults;  // even an all-zero-rate injector
+    SimParams params = quick();
+    params.faults = &faults;
+
+    SupervisorConfig cfg;
+    cfg.store = &store;
+    try {
+        runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                            specsByName({"none"}), params, cfg);
+        FAIL() << "expected verify::SimError";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Config);
+        EXPECT_NE(e.reason().find("fault injection"), std::string::npos)
+            << e.reason();
+    }
+    // Nothing was simulated or cached under a poisoned key.
+    EXPECT_FALSE(
+        store.contains(makeStoreKey("mcf-like.472", "none", params)));
+
+    // The same campaign without a store is allowed (and runs jobs=1).
+    cfg.store = nullptr;
+    SweepReport report =
+        runSupervisedMatrix(workloadsByName({"mcf-like.472"}),
+                            specsByName({"none"}), params, cfg);
     EXPECT_TRUE(report.allOk());
 }
 

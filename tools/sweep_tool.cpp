@@ -14,6 +14,10 @@
  *     --store=DIR           result store directory (enables resume)
  *     --out=DIR             write per-cell resultSnapshot JSON here
  *     --warmup=N --measure=N --dram-mtps=N
+ *     --sample-windows=N    sampled mode: N measurement windows (0=off)
+ *     --sample-warmup=N     per-window warmup instructions
+ *     --sample-measure=N    per-window measured instructions (> 0)
+ *     --sample-stride=N     window start spacing (0 = back-to-back)
  *     --jobs=N              worker threads (0 = auto)
  *     --attempts=N          max attempts per cell (default 3)
  *     --deadline-ms=N       per-simulation wall-clock budget
@@ -107,6 +111,19 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.params.measureInstructions = std::stoull(v);
         } else if (valueOf(arg, "--dram-mtps=", v)) {
             opt.params.dramMtps = static_cast<unsigned>(std::stoul(v));
+        } else if (valueOf(arg, "--sample-windows=", v)) {
+            opt.params.sampling.windowCount =
+                static_cast<unsigned>(std::stoul(v));
+        } else if (valueOf(arg, "--sample-warmup=", v)) {
+            opt.params.sampling.windowWarmup = std::stoull(v);
+        } else if (valueOf(arg, "--sample-measure=", v)) {
+            opt.params.sampling.windowMeasure = std::stoull(v);
+            if (opt.params.sampling.windowMeasure == 0) {
+                std::cerr << "error: --sample-measure must be > 0\n";
+                return false;
+            }
+        } else if (valueOf(arg, "--sample-stride=", v)) {
+            opt.params.sampling.windowStride = std::stoull(v);
         } else if (valueOf(arg, "--jobs=", v)) {
             opt.jobs = static_cast<unsigned>(std::stoul(v));
         } else if (valueOf(arg, "--attempts=", v)) {

@@ -11,14 +11,21 @@ set -eu
 cd "$(dirname "$0")/.."
 build="${1:-build}"
 
-if [ ! -x "$build/tests/test_golden" ]; then
-    echo "error: $build/tests/test_golden not built." >&2
-    echo "  cmake -B $build -S . && cmake --build $build -j" >&2
-    exit 1
-fi
+for t in test_golden test_sampling; do
+    if [ ! -x "$build/tests/$t" ]; then
+        echo "error: $build/tests/$t not built." >&2
+        echo "  cmake -B $build -S . && cmake --build $build -j" >&2
+        exit 1
+    fi
+done
 
 BERTI_UPDATE_GOLDENS=1 "$build/tests/test_golden" \
     --gtest_filter='Matrix/GoldenTest.*'
+
+# The sampled-interval sidecars (*.sampled.json) live in the same
+# directory and regenerate the same way.
+BERTI_UPDATE_GOLDENS=1 "$build/tests/test_sampling" \
+    --gtest_filter='Matrix/SampledGoldenTest.*'
 
 echo "goldens updated:"
 git status --short tests/goldens/ || ls tests/goldens/
