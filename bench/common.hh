@@ -77,6 +77,35 @@ writeStatsSidecars(const std::vector<Workload> &workloads,
     }
 }
 
+/**
+ * File-backed workloads requested via BERTI_TRACE_WORKLOADS (or
+ * --trace-workloads=): a comma-separated list of `file:` URIs or bare
+ * trace paths. Benches append these to their workload lists so real
+ * ChampSim traces ride along with the synthetic suites. Bare paths get
+ * the `file:` prefix here; resolution errors are typed SimErrors from
+ * resolveWorkload and abort the bench loudly.
+ */
+inline std::vector<Workload>
+extraTraceWorkloads(const sim::SimOptions &opt = sim::SimOptions::fromEnv())
+{
+    std::vector<Workload> out;
+    const std::string &csv = opt.traceWorkloads;
+    std::size_t start = 0;
+    while (start <= csv.size() && !csv.empty()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start) {
+            std::string name = csv.substr(start, comma - start);
+            if (name.compare(0, 5, "file:") != 0)
+                name = "file:" + name;
+            out.push_back(resolveWorkload(name));
+        }
+        start = comma + 1;
+    }
+    return out;
+}
+
 /** Default region-of-interest sizes for bench runs. Set
  *  BERTI_BENCH_QUICK=1 (or pass --quick) for a fast smoke pass, and
  *  BERTI_SAMPLE_WINDOWS=N (or --sample-windows=N) to replace the long

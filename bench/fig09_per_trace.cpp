@@ -13,6 +13,10 @@ main()
     using namespace berti::bench;
 
     auto workloads = specGapWorkloads();
+    // Real ChampSim traces requested via BERTI_TRACE_WORKLOADS ride
+    // along as extra per-trace rows (suite "file").
+    for (auto &w : extraTraceWorkloads())
+        workloads.push_back(std::move(w));
     SimParams params = defaultParams();
     auto m = runMatrix(workloads, {"ip-stride", "mlop", "ipcp", "berti"},
                        params);

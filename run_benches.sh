@@ -83,6 +83,49 @@ if [ ! -s "$results/micro_prefetchers.txt" ]; then
         echo "=== micro_prefetchers FAILED (see $results/log/micro_prefetchers.stderr)"
     fi
 fi
+# Real-trace sweep: point BERTI_TRACE_DIR at a directory of ChampSim
+# traces (*.champsim, *.champsim.xz, *.champsim.gz) and every trace is
+# swept through the prefetcher specs as a file: workload. Per-trace JSON
+# sidecars land under $results/stats/traces/, the human table in
+# $results/traces.txt, and the crash-safe result store under
+# $results/trace_store (so a killed sweep resumes; content-hashed keys
+# mean a replaced trace file recomputes instead of reusing stale cells).
+if [ -n "${BERTI_TRACE_DIR:-}" ]; then
+    traces=""
+    for t in "$BERTI_TRACE_DIR"/*.champsim \
+             "$BERTI_TRACE_DIR"/*.champsim.xz \
+             "$BERTI_TRACE_DIR"/*.champsim.gz; do
+        [ -f "$t" ] || continue
+        if [ -n "$traces" ]; then
+            traces="$traces,file:$t"
+        else
+            traces="file:$t"
+        fi
+    done
+    if [ -z "$traces" ]; then
+        echo "=== BERTI_TRACE_DIR=$BERTI_TRACE_DIR holds no *.champsim traces, skipping"
+    elif [ -s "$results/traces.txt" ]; then
+        : # resumed invocation: trace sweep already complete
+    else
+        echo "=== traces start $(date +%T) (BERTI_TRACE_DIR=$BERTI_TRACE_DIR)"
+        tmp="$results/.traces.txt.tmp"
+        if ./build/tools/sweep_tool \
+            --workloads="$traces" \
+            --specs="${BERTI_TRACE_SPECS:-none,ip-stride,berti}" \
+            --store="$results/trace_store" \
+            --out="$results/stats/traces" \
+            --jobs="$BERTI_JOBS" > "$tmp" \
+            2> "$results/log/traces.stderr"; then
+            mv "$tmp" "$results/traces.txt"
+            echo "=== traces done $(date +%T)"
+        else
+            rc=$?
+            rm -f "$tmp"
+            failed="$failed traces"
+            echo "=== traces FAILED rc=$rc $(date +%T) (see $results/log/traces.stderr)"
+        fi
+    fi
+fi
 if [ -n "$failed" ]; then
     echo "FAILED_BENCHES:$failed"
     exit 1

@@ -56,6 +56,12 @@ StoreKey::hash() const
     h.add(std::uint64_t{0});
     h.add(paramsHash);
     h.add(codeVersion);
+    // Folded only when present so synthetic-workload keys (and every
+    // store entry written before file workloads existed) stay stable.
+    if (contentHash != 0) {
+        h.add(std::uint64_t{0});
+        h.add(contentHash);
+    }
     return h.value();
 }
 
@@ -69,8 +75,11 @@ StoreKey::stem() const
 std::string
 StoreKey::describe() const
 {
-    return workload + " | " + spec + " | params=" + hex16(paramsHash) +
-           " | code=" + codeVersion;
+    std::string out = workload + " | " + spec + " | params=" +
+                      hex16(paramsHash) + " | code=" + codeVersion;
+    if (contentHash != 0)
+        out += " | content=" + hex16(contentHash);
+    return out;
 }
 
 std::uint64_t
@@ -118,6 +127,15 @@ makeStoreKey(const std::string &workload, const std::string &spec,
     key.spec = spec;
     key.paramsHash = paramsFingerprint(params);
     key.codeVersion = codeVersion;
+    return key;
+}
+
+StoreKey
+makeStoreKey(const Workload &workload, const std::string &spec,
+             const SimParams &params, const std::string &codeVersion)
+{
+    StoreKey key = makeStoreKey(workload.name, spec, params, codeVersion);
+    key.contentHash = workload.contentHash;
     return key;
 }
 

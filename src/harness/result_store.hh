@@ -30,7 +30,7 @@
 namespace berti::harness
 {
 
-/** The four coordinates that address one sweep cell. */
+/** The coordinates that address one sweep cell. */
 struct StoreKey
 {
     std::string workload;     //!< workload id, e.g. "mcf-like.472"
@@ -38,7 +38,16 @@ struct StoreKey
     std::uint64_t paramsHash = 0;  //!< paramsFingerprint(SimParams)
     std::string codeVersion;  //!< resultStoreCodeVersion()
 
-    /** Content hash over all four coordinates. */
+    /**
+     * For file-backed (`file:`) workloads: the trace file's content
+     * hash (Workload::contentHash), folded into hash() when non-zero.
+     * Two different trace files that ever lived at the same path can
+     * therefore never collide in the cache; synthetic workloads keep
+     * their historical keys (0 is not folded).
+     */
+    std::uint64_t contentHash = 0;
+
+    /** Content hash over every coordinate. */
     std::uint64_t hash() const;
 
     /** Filesystem-safe file stem: "<spec>__<workload>-<hash hex>". */
@@ -68,6 +77,13 @@ std::string resultStoreCodeVersion();
 
 /** Build the key for one cell. */
 StoreKey makeStoreKey(const std::string &workload, const std::string &spec,
+                      const SimParams &params,
+                      const std::string &codeVersion =
+                          resultStoreCodeVersion());
+
+/** Build the key for one cell from a resolved Workload, folding the
+ *  trace file's content hash in for file-backed workloads. */
+StoreKey makeStoreKey(const Workload &workload, const std::string &spec,
                       const SimParams &params,
                       const std::string &codeVersion =
                           resultStoreCodeVersion());

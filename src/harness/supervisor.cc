@@ -42,7 +42,7 @@ superviseCell(const Workload &workload, const PrefetcherSpec &spec,
     cell.workload = workload.name;
     cell.spec = spec.name;
 
-    StoreKey key = makeStoreKey(workload.name, spec.name, params);
+    StoreKey key = makeStoreKey(workload, spec.name, params);
 
     if (cfg.store) {
         auto quarantine = cfg.store->loadQuarantine(key);

@@ -286,7 +286,7 @@ fromInstrs(const std::vector<TraceInstr> &instrs)
 bool
 saveArtifact(const std::string &path, const MicroTrace &trace)
 {
-    return saveTrace(path, toInstrs(trace));
+    return saveTrace(path, toInstrs(trace)).ok();
 }
 
 MicroTrace

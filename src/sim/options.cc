@@ -133,6 +133,8 @@ SimOptions::fromEnv()
         envU64("BERTI_OBS_PFTRACE_PERIOD", opt.pfTracePeriod);
     if (const char *dir = std::getenv("BERTI_STATS_DIR"); dir && *dir)
         opt.statsDir = dir;
+    if (const char *tw = std::getenv("BERTI_TRACE_WORKLOADS"); tw && *tw)
+        opt.traceWorkloads = tw;
 
     // Hardening. A malformed BERTI_VERIFY_INTERVAL is silently ignored
     // (historical auditor behavior: auditing must never be knocked out
@@ -197,6 +199,10 @@ SimOptions::applyFlag(const std::string &arg)
     }
     if (const char *v = value("--stats-dir=")) {
         statsDir = v;
+        return true;
+    }
+    if (const char *v = value("--trace-workloads=")) {
+        traceWorkloads = v;
         return true;
     }
 

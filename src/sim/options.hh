@@ -77,6 +77,16 @@ struct SimOptions
     /** Bench stats sidecar directory (BERTI_STATS_DIR); empty = off. */
     std::string statsDir;
 
+    // --------------------------------------------- real-trace ingestion
+    /**
+     * Extra file-backed workloads appended to bench workload lists
+     * (BERTI_TRACE_WORKLOADS): a comma-separated list of `file:` URIs
+     * or bare trace paths (`/t/x.champsim.xz,file:/t/y.trace`), each
+     * resolved through trace::resolveWorkload next to the synthetic
+     * suites. Empty = none.
+     */
+    std::string traceWorkloads;
+
     // ----------------------------------------------------- hardening
     /** Invariant auditing on every Machine (BERTI_VERIFY). */
     bool verify = false;
@@ -117,7 +127,8 @@ struct SimOptions
     /**
      * Apply one "--key[=value]" override on top of the current values.
      * Recognised: --jobs=N, --quick, --no-cycle-skip, --cycle-skip,
-     * --stats-dir=DIR, --verify, --sample-windows=N, --sample-warmup=N,
+     * --stats-dir=DIR, --trace-workloads=LIST, --verify,
+     * --sample-windows=N, --sample-warmup=N,
      * --sample-measure=N, --sample-stride=N. @return false when the
      * flag is not a SimOptions flag (caller keeps it); malformed values
      * throw verify::SimError(ErrorKind::Config).

@@ -2,11 +2,13 @@
 
 #include <map>
 #include <mutex>
-#include <stdexcept>
 
+#include "trace/champsim.hh"
 #include "trace/gap_kernels.hh"
 #include "trace/generators.hh"
 #include "trace/graph.hh"
+#include "trace/trace_io.hh"
+#include "verify/sim_error.hh"
 
 namespace berti
 {
@@ -44,7 +46,8 @@ sharedGraph(const std::string &name)
         // Sparser, larger crawl-like graph.
         g = std::make_shared<const Csr>(makeKronGraph(1u << 19, 6, 0x3EB));
     } else {
-        throw std::out_of_range("unknown graph: " + name);
+        throw verify::SimError(verify::ErrorKind::Config, "sharedGraph",
+                               "unknown graph: '" + name + "'");
     }
     cache.emplace(name, g);
     return g;
@@ -320,7 +323,51 @@ findWorkload(const std::string &name)
         if (w.name == name)
             return w;
     }
-    throw std::out_of_range("unknown workload: " + name);
+    throw verify::SimError(verify::ErrorKind::Config, "findWorkload",
+                           "unknown workload: '" + name + "'");
+}
+
+Workload
+resolveWorkload(const std::string &name)
+{
+    constexpr const char *kPrefix = "file:";
+    constexpr std::size_t kPrefixLen = 5;
+    if (name.compare(0, kPrefixLen, kPrefix) != 0)
+        return findWorkload(name);
+
+    std::string path = name.substr(kPrefixLen);
+    if (path.empty()) {
+        throw verify::SimError(verify::ErrorKind::Config,
+                               "resolveWorkload",
+                               "malformed file: workload '" + name +
+                                   "' (empty path)");
+    }
+
+    bool champsim = isChampSimTracePath(path);
+    bool native = path.size() >= 6 &&
+                  path.compare(path.size() - 6, 6, ".trace") == 0;
+    if (!champsim && !native) {
+        throw verify::SimError(
+            verify::ErrorKind::Config, "resolveWorkload",
+            "unsupported trace extension in workload '" + name +
+                "' (expected .champsim[.xz|.gz] or .trace)");
+    }
+
+    Workload w;
+    w.name = name;
+    w.suite = "file";
+    // Hash now: a missing or unreadable file fails at resolve time with
+    // a typed TraceIo error instead of inside a worker thread, and the
+    // result-store key is pinned to this exact file content.
+    w.contentHash = fileContentHash(path).value();
+    if (champsim) {
+        w.make = [path] {
+            return std::make_unique<ChampSimReplayGen>(path);
+        };
+    } else {
+        w.make = [path] { return std::make_unique<FileReplayGen>(path); };
+    }
+    return w;
 }
 
 } // namespace berti

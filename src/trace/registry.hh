@@ -21,9 +21,17 @@ namespace berti
 /** A named, reproducible workload. */
 struct Workload
 {
-    std::string name;   //!< e.g. "mcf-like.1554"
-    std::string suite;  //!< "spec", "gap" or "cloud"
+    std::string name;   //!< e.g. "mcf-like.1554" or "file:/t/x.champsim"
+    std::string suite;  //!< "spec", "gap", "cloud" or "file"
     std::function<std::unique_ptr<TraceGenerator>()> make;
+
+    /**
+     * For file-backed workloads: FNV-1a-64 of the trace file's raw
+     * bytes, folded into every result-store key so two different files
+     * that ever lived at the same path can never collide in the cache.
+     * 0 for synthetic workloads (their name + code version pin them).
+     */
+    std::uint64_t contentHash = 0;
 };
 
 /** Every registered workload, in a stable order. */
@@ -35,8 +43,22 @@ std::vector<Workload> suiteWorkloads(const std::string &suite);
 /** Workloads of the spec+gap union the paper averages over. */
 std::vector<Workload> specGapWorkloads();
 
-/** Look up one workload by name; throws std::out_of_range if unknown. */
+/** Look up one registered workload by name; throws
+ *  verify::SimError(ErrorKind::Config) naming the string if unknown. */
 const Workload &findWorkload(const std::string &name);
+
+/**
+ * Resolve a workload by registry name or `file:` URI. A name of the
+ * form `file:/path/to/foo.champsim[.xz|.gz]` yields a ChampSim-trace
+ * replay workload (suite "file") and `file:/path/to/foo.trace` a
+ * native-format one; the file's content hash is computed here so the
+ * result store can key on it. Errors are typed: an unknown registry
+ * name, an empty or extension-less `file:` path throws
+ * verify::SimError(ErrorKind::Config) naming the offending workload
+ * string; an unreadable trace file throws
+ * verify::SimError(ErrorKind::TraceIo) with the path.
+ */
+Workload resolveWorkload(const std::string &name);
 
 } // namespace berti
 

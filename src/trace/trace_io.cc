@@ -1,5 +1,6 @@
 #include "trace/trace_io.hh"
 
+#include <cerrno>
 #include <cstring>
 
 #include "verify/fault_injector.hh"
@@ -11,8 +12,6 @@ namespace
 {
 
 constexpr char kMagic[8] = {'B', 'E', 'R', 'T', 'I', 'T', 'R', '1'};
-constexpr std::size_t kHeaderBytes = 16;  //!< magic + record count
-constexpr std::size_t kRecordBytes = 33;  //!< 4 x u64 + 1 flag byte
 
 /** On-disk record: fixed 33-byte layout, little-endian. */
 struct Record
@@ -98,21 +97,41 @@ fileSize(std::FILE *f)
 
 } // namespace
 
-bool
+verify::Result<std::uint64_t>
 saveTrace(const std::string &path, TraceGenerator &gen,
           std::uint64_t count)
 {
+    auto saveError = [&path](std::uint64_t offset,
+                             const std::string &what) {
+        return verify::SimError(verify::ErrorKind::TraceIo, "saveTrace",
+                                what + ": " + std::strerror(errno), path,
+                                offset);
+    };
+
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        return false;
-    bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1 &&
-              std::fwrite(&count, 8, 1, f) == 1;
-    for (std::uint64_t i = 0; ok && i < count; ++i)
-        ok = writeRecord(f, pack(gen.next()));
-    return std::fclose(f) == 0 && ok;
+        return saveError(0, "cannot open file for writing");
+
+    if (std::fwrite(kMagic, sizeof(kMagic), 1, f) != 1 ||
+        std::fwrite(&count, 8, 1, f) != 1) {
+        std::fclose(f);
+        return saveError(0, "cannot write header");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!writeRecord(f, pack(gen.next()))) {
+            std::uint64_t offset = kHeaderBytes + i * kRecordBytes;
+            std::fclose(f);
+            return saveError(offset, "cannot write record " +
+                                         std::to_string(i));
+        }
+    }
+    std::uint64_t bytes = kHeaderBytes + count * kRecordBytes;
+    if (std::fclose(f) != 0)
+        return saveError(bytes, "cannot flush file");
+    return bytes;
 }
 
-bool
+verify::Result<std::uint64_t>
 saveTrace(const std::string &path, const std::vector<TraceInstr> &instrs)
 {
     ScriptedGen gen(instrs.empty()
@@ -149,13 +168,26 @@ loadTrace(const std::string &path, verify::FaultInjector *faults)
 
     // Hostile-length defence: the declared count must fit in the file.
     // This rejects absurd counts before any allocation is attempted.
+    // Diagnosis splits on the tail shape: a file that ends mid-record
+    // was chopped — report the exact byte offset where the partial
+    // record starts; a clean record boundary with an oversized count is
+    // a hostile or stale header — blame the count field at offset 8.
     std::uint64_t payload = static_cast<std::uint64_t>(size) - kHeaderBytes;
-    if (count > payload / kRecordBytes) {
+    std::uint64_t fullRecords = payload / kRecordBytes;
+    if (count > fullRecords) {
+        if (payload % kRecordBytes != 0) {
+            std::uint64_t cut = kHeaderBytes + fullRecords * kRecordBytes;
+            return ioError(path, cut,
+                           "truncated record (file ends " +
+                               std::to_string(payload % kRecordBytes) +
+                               " bytes into record " +
+                               std::to_string(fullRecords) + " of " +
+                               std::to_string(count) + ")");
+        }
         return ioError(path, 8,
                        "record count " + std::to_string(count) +
                            " exceeds file capacity of " +
-                           std::to_string(payload / kRecordBytes) +
-                           " records");
+                           std::to_string(fullRecords) + " records");
     }
 
     std::vector<TraceInstr> out;

@@ -31,13 +31,24 @@ namespace verify
 class FaultInjector;
 } // namespace verify
 
-/** Write count instructions pulled from gen to path. @return success. */
-bool saveTrace(const std::string &path, TraceGenerator &gen,
-               std::uint64_t count);
+/** Native trace file header size: 8-byte magic + u64 record count. */
+inline constexpr std::size_t kHeaderBytes = 16;
+/** Native trace record size: 4 x u64 addresses + 1 flag byte. */
+inline constexpr std::size_t kRecordBytes = 33;
+
+/**
+ * Write count instructions pulled from gen to path. Returns the number
+ * of bytes written, or — matching the load-side contract — a typed
+ * SimError (kind TraceIo) carrying the path, the byte offset of the
+ * failed write and the errno reason.
+ */
+verify::Result<std::uint64_t> saveTrace(const std::string &path,
+                                        TraceGenerator &gen,
+                                        std::uint64_t count);
 
 /** Write an explicit instruction vector to path. */
-bool saveTrace(const std::string &path,
-               const std::vector<TraceInstr> &instrs);
+verify::Result<std::uint64_t> saveTrace(
+    const std::string &path, const std::vector<TraceInstr> &instrs);
 
 /**
  * Load a whole trace file into memory. Every format error — missing

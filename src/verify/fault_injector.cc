@@ -16,6 +16,13 @@ FaultInjector::mutateTraceRecord(unsigned char *bytes, std::size_t len)
         ++counters.traceTruncations;
         return TraceFault::Truncated;
     }
+    if (len > 0 && cfg.traceGarbageRate > 0.0 &&
+        rng.nextBool(cfg.traceGarbageRate)) {
+        for (std::size_t i = 0; i < len; ++i)
+            bytes[i] = static_cast<unsigned char>(rng.nextBounded(256));
+        ++counters.traceGarbageRecords;
+        return TraceFault::Corrupted;
+    }
     if (len > 0 && cfg.traceBitFlipRate > 0.0 &&
         rng.nextBool(cfg.traceBitFlipRate)) {
         std::uint64_t bit = rng.nextBounded(8 * len);

@@ -42,6 +42,7 @@ struct FaultConfig
     // ------------------------------------------------------ trace I/O
     double traceBitFlipRate = 0.0;   //!< P(flip one bit) per record
     double traceTruncateRate = 0.0;  //!< P(cut the stream) per record
+    double traceGarbageRate = 0.0;   //!< P(record rewritten wholesale)
 
     // ----------------------------------------------------------- DRAM
     double dramSpikeRate = 0.0;      //!< P(latency spike) per read
@@ -70,6 +71,7 @@ class FaultInjector
     {
         std::uint64_t traceBitFlips = 0;
         std::uint64_t traceTruncations = 0;
+        std::uint64_t traceGarbageRecords = 0;
         std::uint64_t dramSpikes = 0;
         std::uint64_t dramLostReads = 0;
         std::uint64_t droppedPrefetchFills = 0;
@@ -80,8 +82,11 @@ class FaultInjector
 
     /**
      * Possibly corrupt or truncate one on-disk trace record (raw bytes,
-     * before decoding). Flips at most one bit per draw so corrupt
-     * corpora stay close to realistic single-event upsets.
+     * before decoding). Bit flips touch at most one bit per draw so
+     * corrupt corpora stay close to realistic single-event upsets; the
+     * garbage mode (used to harden the header-less ChampSim decode
+     * path, where *any* byte pattern must parse) rewrites the whole
+     * record with deterministic pseudorandom bytes.
      */
     TraceFault mutateTraceRecord(unsigned char *bytes, std::size_t len);
 

@@ -8,6 +8,7 @@
 
 #include "trace/generators.hh"
 #include "trace/registry.hh"
+#include "verify/sim_error.hh"
 
 namespace berti
 {
@@ -240,7 +241,14 @@ TEST(Registry, NamesAreUnique)
 TEST(Registry, FindByNameAndUnknownThrows)
 {
     EXPECT_EQ(findWorkload("mcf-like.1554").suite, "spec");
-    EXPECT_THROW(findWorkload("no-such-workload"), std::out_of_range);
+    try {
+        findWorkload("no-such-workload");
+        FAIL() << "expected SimError(Config)";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Config);
+        EXPECT_NE(std::string(e.what()).find("no-such-workload"),
+                  std::string::npos);
+    }
 }
 
 class WorkloadSweep : public ::testing::TestWithParam<std::string>

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include "sim/rng.hh"
 #include "trace/generators.hh"
 #include "trace/trace_io.hh"
 #include "verify/sim_error.hh"
@@ -211,14 +212,121 @@ TEST(TraceIo, TruncatedRecordReportsItsOffset)
     std::vector<TraceInstr> instrs(10);
     std::string path = tempPath("trunc");
     ASSERT_TRUE(saveTrace(path, instrs));
-    // Chop the last record in half. The count-vs-size defence fires
-    // first (the declared 10 records no longer fit), which is the
-    // correct diagnosis for a chopped file.
+    // Chop the last record in half. The error must pinpoint the byte
+    // offset where the mangled record *starts* — record 9 of 10, at
+    // header + 9 full records — and say it is a truncation, not a
+    // hostile header.
     ASSERT_EQ(0, truncate(path.c_str(), sizeOf(path) - 10));
     auto result = loadTrace(path);
     ASSERT_FALSE(result.ok());
     EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
     EXPECT_EQ(result.error().path(), path);
+    EXPECT_EQ(result.error().offset(),
+              kHeaderBytes + 9 * kRecordBytes);
+    EXPECT_NE(result.error().reason().find("truncated record"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, TruncatedMidRecordSweepReportsExactOffsets)
+{
+    // Satellite regression for the typed-error contract: for *every*
+    // cut point inside the record payload, the reported offset is the
+    // start of the first incomplete record, and cuts on a record
+    // boundary are instead diagnosed as a count/size mismatch.
+    std::vector<TraceInstr> instrs(4);
+    std::string path = tempPath("truncsweep");
+    ASSERT_TRUE(saveTrace(path, instrs));
+    const long full = sizeOf(path);
+    ASSERT_EQ(full,
+              static_cast<long>(kHeaderBytes + 4 * kRecordBytes));
+    for (long cut = static_cast<long>(kHeaderBytes) + 1; cut < full;
+         ++cut) {
+        ASSERT_TRUE(saveTrace(path, instrs));
+        ASSERT_EQ(0, truncate(path.c_str(), cut));
+        auto result = loadTrace(path);
+        ASSERT_FALSE(result.ok()) << "cut=" << cut;
+        EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
+        std::uint64_t payload =
+            static_cast<std::uint64_t>(cut) - kHeaderBytes;
+        if (payload % kRecordBytes != 0) {
+            std::uint64_t expect =
+                kHeaderBytes + (payload / kRecordBytes) * kRecordBytes;
+            EXPECT_EQ(result.error().offset(), expect)
+                << "cut=" << cut;
+            EXPECT_NE(result.error().reason().find("truncated record"),
+                      std::string::npos)
+                << "cut=" << cut;
+        } else {
+            // Clean record boundary: the payload is self-consistent,
+            // so the header count is the lie.
+            EXPECT_EQ(result.error().offset(), 8u) << "cut=" << cut;
+            EXPECT_NE(
+                result.error().reason().find("exceeds file capacity"),
+                std::string::npos)
+                << "cut=" << cut;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, HeaderCountVsFileSizeFuzz)
+{
+    // Fuzz the header's record count against a fixed 6-record payload:
+    // undercounting loads the declared prefix, any overcount is a typed
+    // error, and no value crashes or silently truncates.
+    std::vector<TraceInstr> instrs(6);
+    for (std::size_t i = 0; i < instrs.size(); ++i)
+        instrs[i].ip = 0x1000 + i;
+    std::string path = tempPath("countfuzz");
+    Rng rng(0xc0117u);
+    for (int iter = 0; iter < 64; ++iter) {
+        ASSERT_TRUE(saveTrace(path, instrs));
+        std::uint64_t claimed = rng.nextBounded(16);
+        if (iter % 4 == 0)
+            claimed = (1ull << 62) + rng.nextBounded(1024);
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 8, SEEK_SET);
+        ASSERT_EQ(std::fwrite(&claimed, 8, 1, f), 1u);
+        std::fclose(f);
+        auto result = loadTrace(path);
+        if (claimed <= 6) {
+            ASSERT_TRUE(result.ok()) << "claimed=" << claimed;
+            EXPECT_EQ(result.value().size(), claimed);
+            if (claimed > 0)
+                EXPECT_EQ(result.value()[0].ip, 0x1000u);
+        } else {
+            ASSERT_FALSE(result.ok()) << "claimed=" << claimed;
+            EXPECT_EQ(result.error().kind(),
+                      verify::ErrorKind::TraceIo);
+            EXPECT_EQ(result.error().offset(), 8u);
+            EXPECT_NE(
+                result.error().reason().find("exceeds file capacity"),
+                std::string::npos);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SaveTraceReportsTypedWriteErrors)
+{
+    // Satellite: saveTrace now returns verify::Result instead of bool,
+    // so an unwritable destination carries path + errno reason.
+    std::vector<TraceInstr> instrs(2);
+    auto result = saveTrace("/nonexistent-dir/out.trace", instrs);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error().kind(), verify::ErrorKind::TraceIo);
+    EXPECT_EQ(result.error().path(), "/nonexistent-dir/out.trace");
+    EXPECT_NE(result.error().reason().find("cannot open"),
+              std::string::npos);
+
+    // Success reports the exact byte count written.
+    std::string path = tempPath("savebytes");
+    auto ok = saveTrace(path, instrs);
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), kHeaderBytes + 2 * kRecordBytes);
+    EXPECT_EQ(static_cast<std::uint64_t>(sizeOf(path)), ok.value());
     std::remove(path.c_str());
 }
 

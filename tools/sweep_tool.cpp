@@ -9,7 +9,9 @@
  *
  * Usage:
  *   sweep_tool [options]
- *     --workloads=a,b,c     workload names (default: a small trio)
+ *     --workloads=a,b,c     workload names and/or file: trace URIs
+ *                           (file:/path/foo.champsim[.xz|.gz] or
+ *                           file:/path/foo.trace; default: a small trio)
  *     --specs=x,y           prefetcher specs (default: none,berti)
  *     --store=DIR           result store directory (enables resume)
  *     --out=DIR             write per-cell resultSnapshot JSON here
@@ -153,13 +155,30 @@ parseArgs(int argc, char **argv, Options &opt)
     return !opt.workloads.empty() && !opt.specs.empty();
 }
 
+/** File-name-safe form of a spec/workload label (file: URIs carry
+ *  slashes and colons that cannot appear in a sidecar file name). */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char c : label) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '-' || c == '.' ||
+                  c == '_';
+        out.push_back(ok ? c : '-');
+    }
+    return out.empty() ? std::string("unnamed") : out;
+}
+
 /** Sidecar path for one cell under --out (no store key in the name:
  *  the layout is byte-comparable across runs with `diff -r`). */
 std::string
 sidecarPath(const std::string &dir, const std::string &spec,
             const std::string &workload)
 {
-    return dir + "/" + spec + "__" + workload + ".json";
+    return dir + "/" + sanitizeLabel(spec) + "__" +
+           sanitizeLabel(workload) + ".json";
 }
 
 } // namespace
@@ -174,7 +193,7 @@ main(int argc, char **argv)
     try {
         std::vector<Workload> workloads;
         for (const std::string &name : opt.workloads)
-            workloads.push_back(findWorkload(name));
+            workloads.push_back(resolveWorkload(name));
         std::vector<PrefetcherSpec> specs;
         for (const std::string &name : opt.specs)
             specs.push_back(makeSpec(name));

@@ -13,12 +13,15 @@
 
 #include <iostream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hh"
 #include "harness/machine.hh"
 #include "harness/table.hh"
+#include "trace/champsim.hh"
 #include "trace/registry.hh"
 #include "trace/trace_io.hh"
 
@@ -31,25 +34,47 @@ int
 cmdRecord(const std::string &workload, std::uint64_t count,
           const std::string &path)
 {
-    auto gen = findWorkload(workload).make();
-    if (!saveTrace(path, *gen, count)) {
-        std::cerr << "error: cannot write " << path << "\n";
+    // resolveWorkload: registry names and file: URIs both record, so
+    // the tool doubles as a ChampSim -> native trace converter.
+    auto gen = resolveWorkload(workload).make();
+    auto written = saveTrace(path, *gen, count);
+    if (!written.ok()) {
+        std::cerr << "error: " << written.error().what() << "\n";
         return 1;
     }
     std::cout << "recorded " << count << " instructions of " << workload
-              << " to " << path << "\n";
+              << " to " << path << " (" << written.value()
+              << " bytes)\n";
     return 0;
+}
+
+/** Decode a whole ChampSim trace through the streaming stack. */
+std::vector<TraceInstr>
+loadChampSim(const std::string &path)
+{
+    StreamTraceSource src(path);
+    ChampSimDecoder dec(src);
+    std::vector<TraceInstr> instrs;
+    TraceInstr in;
+    while (dec.next(in))
+        instrs.push_back(in);
+    return instrs;
 }
 
 int
 cmdInfo(const std::string &path)
 {
-    auto loaded = loadTrace(path);
-    if (!loaded.ok()) {
-        std::cerr << "error: " << loaded.error().what() << "\n";
-        return 1;
+    std::vector<TraceInstr> instrs;
+    if (isChampSimTracePath(path)) {
+        instrs = loadChampSim(path);  // typed SimError on failure
+    } else {
+        auto loaded = loadTrace(path);
+        if (!loaded.ok()) {
+            std::cerr << "error: " << loaded.error().what() << "\n";
+            return 1;
+        }
+        instrs = std::move(loaded.value());
     }
-    const auto &instrs = loaded.value();
     if (instrs.empty()) {
         std::cerr << "error: " << path << " holds no instructions\n";
         return 1;
@@ -90,12 +115,18 @@ int
 cmdRun(const std::string &path, const std::string &pf,
        std::uint64_t instructions)
 {
-    FileReplayGen gen(path);
+    std::unique_ptr<TraceGenerator> gen;
+    if (path.compare(0, 5, "file:") == 0)
+        gen = resolveWorkload(path).make();  // full URI validation
+    else if (isChampSimTracePath(path))
+        gen = std::make_unique<ChampSimReplayGen>(path);
+    else
+        gen = std::make_unique<FileReplayGen>(path);
     MachineConfig cfg = MachineConfig::sunnyCove(1);
     PrefetcherSpec spec = makeSpec(pf);
     cfg.l1dPrefetcher = spec.l1d;
     cfg.l2Prefetcher = spec.l2;
-    Machine m(cfg, {&gen});
+    Machine m(cfg, {gen.get()});
     m.run(instructions);
     RunStats s = m.liveStats(0);
     std::cout << s.summary() << "\n";
