@@ -157,10 +157,13 @@ runMatrix(const std::vector<Workload> &workloads,
           const std::vector<std::string> &spec_names,
           const SimParams &params)
 {
+    // Options-aware: hybrid specs pick up BERTI_HYBRID_* geometry and
+    // canonicalize their recorded names.
+    const sim::SimOptions opt = sim::SimOptions::fromEnv();
     std::vector<PrefetcherSpec> specs;
     specs.reserve(spec_names.size());
     for (const auto &name : spec_names)
-        specs.push_back(makeSpec(name));
+        specs.push_back(makeSpec(name, opt));
 
     auto grid = runSpecMatrix(workloads, specs, params,
                               std::to_string(spec_names.size()) +

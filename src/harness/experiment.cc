@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "prefetch/compose.hh"
 #include "prefetch/registry.hh"
+#include "sim/options.hh"
 #include "verify/sim_error.hh"
 
 
@@ -12,16 +14,61 @@ namespace berti
 namespace
 {
 
-PrefetcherFactory
-factoryFor(const std::string &name)
-{
-    return prefetch::make(name);
-}
-
 std::uint64_t
 bitsOf(const PrefetcherFactory &f)
 {
     return f ? f()->storageBits() : 0;
+}
+
+/**
+ * The level separator of a combo like "mlop+bingo" is the '+' at paren
+ * depth 0; a '+' inside a hybrid(...) child list belongs to the spec
+ * (none today, but the split must not bite into one if the grammar
+ * grows it).
+ */
+std::size_t
+topLevelPlus(const std::string &combo)
+{
+    int depth = 0;
+    for (std::size_t i = 0; i < combo.size(); ++i) {
+        if (combo[i] == '(') {
+            ++depth;
+        } else if (combo[i] == ')') {
+            --depth;
+        } else if (combo[i] == '+' && depth == 0) {
+            return i;
+        }
+    }
+    return std::string::npos;
+}
+
+PrefetcherSpec
+makeSpecImpl(const std::string &combo, const sim::SimOptions *opt)
+{
+    PrefetcherSpec spec;
+    std::string l1_name = combo;
+    std::string l2_name;
+    auto plus = topLevelPlus(combo);
+    if (plus != std::string::npos) {
+        l1_name = combo.substr(0, plus);
+        l2_name = combo.substr(plus + 1);
+    }
+    auto resolve = [opt](const std::string &n) {
+        return opt ? prefetch::make(n, *opt) : prefetch::make(n);
+    };
+    auto canon = [opt](const std::string &n) {
+        if (!prefetch::isHybridSpec(n))
+            return n;
+        return prefetch::canonicalHybridSpec(
+            n, opt ? prefetch::HybridConfig::fromOptions(*opt)
+                   : prefetch::HybridConfig{});
+    };
+    spec.l1d = resolve(l1_name);
+    spec.l2 = resolve(l2_name);
+    spec.name = canon(l1_name) +
+                (l2_name.empty() ? "" : "+" + canon(l2_name));
+    spec.storageBits = bitsOf(spec.l1d) + bitsOf(spec.l2);
+    return spec;
 }
 
 /** The Table II machine configured for one simulation call. */
@@ -112,19 +159,13 @@ computeDispersion(SampledResult &s)
 PrefetcherSpec
 makeSpec(const std::string &combo)
 {
-    PrefetcherSpec spec;
-    spec.name = combo;
-    std::string l1_name = combo;
-    std::string l2_name;
-    auto plus = combo.find('+');
-    if (plus != std::string::npos) {
-        l1_name = combo.substr(0, plus);
-        l2_name = combo.substr(plus + 1);
-    }
-    spec.l1d = factoryFor(l1_name);
-    spec.l2 = factoryFor(l2_name);
-    spec.storageBits = bitsOf(spec.l1d) + bitsOf(spec.l2);
-    return spec;
+    return makeSpecImpl(combo, nullptr);
+}
+
+PrefetcherSpec
+makeSpec(const std::string &combo, const sim::SimOptions &opt)
+{
+    return makeSpecImpl(combo, &opt);
 }
 
 PrefetcherSpec

@@ -21,6 +21,11 @@
 namespace berti
 {
 
+namespace sim
+{
+struct SimOptions;
+} // namespace sim
+
 /**
  * A named L1D(+L2) prefetcher combination, e.g. "berti", "ip-stride",
  * "mlop+bingo", "none". The storage figure covers the prefetcher
@@ -35,12 +40,24 @@ struct PrefetcherSpec
 };
 
 /**
- * Build a spec by name. L1D names: none, ip-stride, next-line, bop,
- * mlop, ipcp, berti. L2 names (after '+'): spp, spp-ppf, bingo, vldp,
- * ipcp, misb. Examples: "berti", "mlop+bingo", "ipcp+ipcp". An unknown
- * name throws verify::SimError(ErrorKind::Config).
+ * Build a spec by name. Any registry name works at either level; the
+ * '+' at paren depth 0 separates L1D from L2 ("mlop+bingo"), so
+ * hybrid(...) composition specs flow through unchanged ("hybrid(
+ * berti,cmc;select=ip)+bingo"). Hybrid names are canonicalized into
+ * spec.name (prefetch::canonicalName), which is what result-store keys
+ * record. An unknown or malformed name throws
+ * verify::SimError(ErrorKind::Config).
  */
 PrefetcherSpec makeSpec(const std::string &combo);
+
+/**
+ * Options-aware spec construction: hybrid specs pick up the
+ * BERTI_HYBRID_* selector geometry from opt as their baseline, and the
+ * canonical spec.name folds in every effective value that differs from
+ * the compiled defaults. Plain names behave exactly as makeSpec(combo).
+ */
+PrefetcherSpec makeSpec(const std::string &combo,
+                        const sim::SimOptions &opt);
 
 /** Berti with a custom configuration (sensitivity benches). */
 PrefetcherSpec makeBertiSpec(const BertiConfig &cfg,

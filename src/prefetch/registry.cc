@@ -5,7 +5,10 @@
 #include "core/berti.hh"
 #include "prefetch/bingo.hh"
 #include "prefetch/bop.hh"
+#include "prefetch/cmc.hh"
+#include "prefetch/compose.hh"
 #include "prefetch/ip_stride.hh"
+#include "prefetch/markov.hh"
 #include "prefetch/ipcp.hh"
 #include "prefetch/misb.hh"
 #include "prefetch/mlop.hh"
@@ -28,6 +31,7 @@ struct Entry
 {
     const char *name;
     Factory factory;
+    bool atL2 = false;  //!< conventional attach level (physical addrs)
 };
 
 const std::vector<Entry> &
@@ -41,14 +45,17 @@ entries()
         {"mlop", [] { return std::make_unique<MlopPrefetcher>(); }},
         {"ipcp", [] { return std::make_unique<IpcpPrefetcher>(); }},
         {"berti", [] { return std::make_unique<BertiPrefetcher>(); }},
-        {"spp", [] { return std::make_unique<SppPrefetcher>(); }},
-        {"spp-ppf", [] { return std::make_unique<SppPpfPrefetcher>(); }},
-        {"bingo", [] { return std::make_unique<BingoPrefetcher>(); }},
-        {"vldp", [] { return std::make_unique<VldpPrefetcher>(); }},
-        {"misb", [] { return std::make_unique<MisbPrefetcher>(); }},
+        {"spp", [] { return std::make_unique<SppPrefetcher>(); }, true},
+        {"spp-ppf", [] { return std::make_unique<SppPpfPrefetcher>(); },
+         true},
+        {"bingo", [] { return std::make_unique<BingoPrefetcher>(); }, true},
+        {"vldp", [] { return std::make_unique<VldpPrefetcher>(); }, true},
+        {"misb", [] { return std::make_unique<MisbPrefetcher>(); }, true},
         {"pythia", [] { return std::make_unique<PythiaPrefetcher>(); }},
         {"sms", [] { return std::make_unique<SmsPrefetcher>(); }},
         {"stream", [] { return std::make_unique<StreamPrefetcher>(); }},
+        {"cmc", [] { return std::make_unique<CmcPrefetcher>(); }},
+        {"markov", [] { return std::make_unique<MarkovPrefetcher>(); }},
     };
     return table;
 }
@@ -78,15 +85,42 @@ names()
     return all;
 }
 
+std::vector<std::string>
+allSpecs()
+{
+    std::vector<std::string> out = names();
+    out.push_back("hybrid(berti,cmc)");
+    out.push_back("hybrid(berti,markov;select=ip)");
+    out.push_back("hybrid(ip-stride,stream;select=duel)");
+    return out;
+}
+
+bool
+defaultLevelIsL2(const std::string &name)
+{
+    const Entry *e = find(name);
+    return e != nullptr && e->atL2;
+}
+
 bool
 known(const std::string &name)
 {
+    if (isHybridSpec(name)) {
+        try {
+            canonicalHybridSpec(name, HybridConfig{});
+            return true;
+        } catch (const verify::SimError &) {
+            return false;
+        }
+    }
     return find(name) != nullptr;
 }
 
 Factory
 make(const std::string &name)
 {
+    if (isHybridSpec(name))
+        return makeHybridFactory(name, HybridConfig{});
     if (const Entry *e = find(name))
         return e->factory;
     std::string valid;
@@ -94,13 +128,24 @@ make(const std::string &name)
         valid += (valid.empty() ? "" : ", ") + n;
     throw verify::SimError(verify::ErrorKind::Config, "prefetch",
                            "unknown prefetcher: \"" + name +
-                               "\" (valid: " + valid + ")");
+                               "\" (valid: " + valid +
+                               ", or a hybrid(a,b;select=...) spec)");
 }
 
 Factory
-make(const std::string &name, const sim::SimOptions &)
+make(const std::string &name, const sim::SimOptions &opt)
 {
+    if (isHybridSpec(name))
+        return makeHybridFactory(name, HybridConfig::fromOptions(opt));
     return make(name);
+}
+
+std::string
+canonicalName(const std::string &name, const sim::SimOptions &opt)
+{
+    if (isHybridSpec(name))
+        return canonicalHybridSpec(name, HybridConfig::fromOptions(opt));
+    return name;
 }
 
 Factory

@@ -40,7 +40,25 @@ using Decorator =
 /** Stable spec names in registration order, "none" first. */
 const std::vector<std::string> &names();
 
-/** True when make(name) would succeed (includes "none" and ""). */
+/**
+ * names() plus a fixed set of representative hybrid(...) specs, one per
+ * selection policy. Suites that want "every spec the registry can
+ * build" (metamorphic, differential, checkpoint batteries) iterate
+ * this, so a newly registered prefetcher — or a new hybrid policy —
+ * is covered with zero test edits. "none" stays first.
+ */
+std::vector<std::string> allSpecs();
+
+/**
+ * Whether a spec's prefetcher conventionally attaches at L2 (physical
+ * addresses, e.g. spp, bingo, misb) rather than L1D. Hybrid specs
+ * attach where their children do; the representative hybrids are
+ * L1D-composed, so they report false.
+ */
+bool defaultLevelIsL2(const std::string &name);
+
+/** True when make(name) would succeed (includes "none", "" and
+ *  well-formed hybrid(...) specs). */
 bool known(const std::string &name);
 
 /**
@@ -54,12 +72,23 @@ Factory make(const std::string &name);
 
 /**
  * Options-aware resolution: the registry is where per-prefetcher
- * tuning from SimOptions would be applied; today no knob reshapes a
- * prefetcher, so this forwards to make(name) after validation. Bench
- * and harness code should prefer this overload so future knobs take
- * effect without call-site changes.
+ * tuning from SimOptions is applied. hybrid(...) specs pick up the
+ * BERTI_HYBRID_* selector geometry from opt as their config baseline
+ * (in-spec options still win); plain names are unaffected. Bench and
+ * harness code should prefer this overload so knobs take effect
+ * without call-site changes.
  */
 Factory make(const std::string &name, const sim::SimOptions &opt);
+
+/**
+ * The name a spec should be recorded under (result-store keys, bench
+ * labels): plain names map to themselves; hybrid specs map to their
+ * canonical spelling with every effective config value that differs
+ * from the compiled defaults folded in, so runs under different
+ * BERTI_HYBRID_* geometry can never collide on one key.
+ */
+std::string canonicalName(const std::string &name,
+                          const sim::SimOptions &opt);
 
 /**
  * Wrap a factory: every prefetcher the returned factory builds is

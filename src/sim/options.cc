@@ -147,6 +147,22 @@ SimOptions::fromEnv()
             opt.verifyInterval = static_cast<Cycle>(v);
     }
 
+    // Hybrid prefetcher geometry. Degree accepts 0 (greediest-child
+    // governor); the table/counter shapes must stay positive. Range
+    // validation (e.g. duel-sets vs the bucket count) happens where the
+    // values meet a spec, in the hybrid parser, so env and in-spec
+    // options fail identically.
+    opt.hybridDegree = static_cast<unsigned>(
+        envU64Zero("BERTI_HYBRID_DEGREE", opt.hybridDegree));
+    opt.hybridCreditEntries = static_cast<unsigned>(
+        envU64("BERTI_HYBRID_CREDITS", opt.hybridCreditEntries));
+    opt.hybridCreditMax = static_cast<unsigned>(
+        envU64("BERTI_HYBRID_CREDIT_MAX", opt.hybridCreditMax));
+    opt.hybridDuelSets = static_cast<unsigned>(
+        envU64("BERTI_HYBRID_DUEL_SETS", opt.hybridDuelSets));
+    opt.hybridPselBits = static_cast<unsigned>(
+        envU64("BERTI_HYBRID_PSEL_BITS", opt.hybridPselBits));
+
     // Bench + test harness.
     opt.benchQuick = envOne("BERTI_BENCH_QUICK");
     opt.updateGoldens = envOne("BERTI_UPDATE_GOLDENS");
@@ -235,6 +251,33 @@ SimOptions::applyFlag(const std::string &arg)
     }
     if (const char *v = value("--sample-stride=")) {
         sampleStride = u64Flag(v, "--sample-stride", /*zero_ok=*/true);
+        return true;
+    }
+
+    // Hybrid selector geometry mirrors the BERTI_HYBRID_* family.
+    if (const char *v = value("--hybrid-degree=")) {
+        hybridDegree = static_cast<unsigned>(
+            u64Flag(v, "--hybrid-degree", /*zero_ok=*/true));
+        return true;
+    }
+    if (const char *v = value("--hybrid-credits=")) {
+        hybridCreditEntries = static_cast<unsigned>(
+            u64Flag(v, "--hybrid-credits", /*zero_ok=*/false));
+        return true;
+    }
+    if (const char *v = value("--hybrid-credit-max=")) {
+        hybridCreditMax = static_cast<unsigned>(
+            u64Flag(v, "--hybrid-credit-max", /*zero_ok=*/false));
+        return true;
+    }
+    if (const char *v = value("--hybrid-duel-sets=")) {
+        hybridDuelSets = static_cast<unsigned>(
+            u64Flag(v, "--hybrid-duel-sets", /*zero_ok=*/false));
+        return true;
+    }
+    if (const char *v = value("--hybrid-psel-bits=")) {
+        hybridPselBits = static_cast<unsigned>(
+            u64Flag(v, "--hybrid-psel-bits", /*zero_ok=*/false));
         return true;
     }
     return false;

@@ -93,6 +93,25 @@ struct SimOptions
     /** Cycles between full invariant checks (BERTI_VERIFY_INTERVAL). */
     Cycle verifyInterval = 4096;
 
+    // --------------------------------------- hybrid prefetcher geometry
+    /**
+     * Selector geometry for hybrid(...) prefetcher specs (see
+     * prefetch/compose.hh). These reshape simulated behaviour, so any
+     * value differing from the defaults is folded into the canonical
+     * spec name — result-store keys can never collide across geometry.
+     */
+    /** Per-hook-call forward cap (BERTI_HYBRID_DEGREE); 0 = the
+     *  greediest-child governor. */
+    unsigned hybridDegree = 0;
+    /** Per-IP credit table rows (BERTI_HYBRID_CREDITS). */
+    unsigned hybridCreditEntries = 256;
+    /** Saturating credit ceiling (BERTI_HYBRID_CREDIT_MAX). */
+    unsigned hybridCreditMax = 15;
+    /** Set-dueling leader buckets per child (BERTI_HYBRID_DUEL_SETS). */
+    unsigned hybridDuelSets = 64;
+    /** PSEL counter width in bits (BERTI_HYBRID_PSEL_BITS). */
+    unsigned hybridPselBits = 10;
+
     // ------------------------------------------------- bench harness
     /** Smoke-size bench regions of interest (BERTI_BENCH_QUICK=1). */
     bool benchQuick = false;
@@ -129,7 +148,9 @@ struct SimOptions
      * Recognised: --jobs=N, --quick, --no-cycle-skip, --cycle-skip,
      * --stats-dir=DIR, --trace-workloads=LIST, --verify,
      * --sample-windows=N, --sample-warmup=N,
-     * --sample-measure=N, --sample-stride=N. @return false when the
+     * --sample-measure=N, --sample-stride=N, --hybrid-degree=N,
+     * --hybrid-credits=N, --hybrid-credit-max=N, --hybrid-duel-sets=N,
+     * --hybrid-psel-bits=N. @return false when the
      * flag is not a SimOptions flag (caller keeps it); malformed values
      * throw verify::SimError(ErrorKind::Config).
      */

@@ -31,11 +31,20 @@ namespace
 {
 
 /** The resume matrix the acceptance criteria name: three workloads
- *  crossed with four checkpointable specs. */
+ *  crossed with the checkpointable specs, including the temporal /
+ *  Markov specs and a hybrid of each selection policy. */
 const std::vector<std::string> kWorkloads = {
     "mcf-like.472", "bwaves-like.2609", "cactu-like.709"};
-const std::vector<std::string> kSpecs = {"none", "berti", "ip-stride",
-                                         "stream"};
+const std::vector<std::string> kSpecs = {
+    "none",
+    "berti",
+    "ip-stride",
+    "stream",
+    "cmc",
+    "markov",
+    "hybrid(berti,cmc)",
+    "hybrid(berti,markov;select=ip)",
+    "hybrid(cmc,markov;select=duel)"};
 
 constexpr std::uint64_t kWarmup = 4000;
 constexpr std::uint64_t kMeasure = 12000;
@@ -251,6 +260,27 @@ TEST(Checkpoint, UnsupportedPrefetcherRefusesWithReason)
     try {
         (void)m.saveCheckpointBlob();
         FAIL() << "saving an uncheckpointable machine must throw";
+    } catch (const verify::SimError &e) {
+        EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint);
+    }
+}
+
+TEST(Checkpoint, HybridWithUncheckpointableChildRefusesWithReason)
+{
+    // A hybrid is only as checkpointable as its children: composing in
+    // BOP must propagate the typed refusal instead of silently
+    // dropping the child's learned state.
+    MachineConfig cfg = configFor("hybrid(berti,bop)");
+    const Workload &w = findWorkload("mcf-like.472");
+    auto gen = w.make();
+    Machine m(cfg, {gen.get()});
+
+    std::string why;
+    EXPECT_FALSE(m.checkpointSupported(&why));
+
+    try {
+        (void)m.saveCheckpointBlob();
+        FAIL() << "saving an uncheckpointable hybrid must throw";
     } catch (const verify::SimError &e) {
         EXPECT_EQ(e.kind(), verify::ErrorKind::Checkpoint);
     }

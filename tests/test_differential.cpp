@@ -460,19 +460,14 @@ TEST(BertiDifferential, TeeInsideMachineMatchesReference)
 
 TEST(Metamorphic, PrefetchingNeverChangesDemandSemantics)
 {
-    // All 15 prefetchers, placed at the level they are designed for.
-    struct SpecAt
-    {
-        const char *name;
-        bool atL2;
-    };
-    const SpecAt specs[] = {
-        {"none", false},      {"ip-stride", false}, {"next-line", false},
-        {"bop", false},       {"mlop", false},      {"ipcp", false},
-        {"berti", false},     {"pythia", false},    {"sms", false},
-        {"stream", false},    {"spp", true},        {"vldp", true},
-        {"spp-ppf", true},    {"bingo", true},      {"misb", true},
-    };
+    // Every spec the registry can build — including the representative
+    // hybrid(...) composition specs — placed at the level it is
+    // designed for. Driven off prefetch::allSpecs() so a newly
+    // registered prefetcher is covered with zero edits here; the
+    // registry keeps "none" first (the baseline below relies on it).
+    const std::vector<std::string> specs = prefetch::allSpecs();
+    ASSERT_GE(specs.size(), 17u);
+    ASSERT_EQ(specs.front(), "none");
 
     std::uint64_t seed = baseSeed() + 424242;
     MicroTrace t = oracle::findMicroTraceClass("page-crossing-strides")
@@ -480,13 +475,14 @@ TEST(Metamorphic, PrefetchingNeverChangesDemandSemantics)
 
     oracle::SerializedRunStats baseline;
     bool have_baseline = false;
-    for (const SpecAt &s : specs) {
-        PrefetcherFactory f = makeSpec(s.name).l1d;  // factory by name
+    for (const std::string &name : specs) {
+        const bool atL2 = prefetch::defaultLevelIsL2(name);
+        PrefetcherFactory f = makeSpec(name).l1d;  // factory by name
         oracle::SerializedRunStats r = oracle::runSerializedWithPrefetchers(
-            t, DiffConfig{}, s.atL2 || !f ? nullptr : f(),
-            s.atL2 && f ? f() : nullptr);
+            t, DiffConfig{}, atL2 || !f ? nullptr : f(),
+            atL2 && f ? f() : nullptr);
 
-        SCOPED_TRACE(std::string("spec ") + s.name + " " +
+        SCOPED_TRACE(std::string("spec ") + name + " " +
                      describeSeed("page-crossing-strides", seed));
         ASSERT_FALSE(r.wedged) << r.message;
 
@@ -504,7 +500,7 @@ TEST(Metamorphic, PrefetchingNeverChangesDemandSemantics)
         if (!have_baseline) {
             // First spec is "none": the baseline, and a strict no-op on
             // every prefetch stats field at every level.
-            ASSERT_STREQ(s.name, "none");
+            ASSERT_EQ(name, "none");
             baseline = r;
             have_baseline = true;
             for (const CacheStats *cs : {&r.l1, &r.l2, &r.llc}) {

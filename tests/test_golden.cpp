@@ -42,6 +42,13 @@ const std::vector<std::string> kWorkloads = {
     "mcf-like.1536"};
 const std::vector<std::string> kSpecs = {"none", "berti"};
 
+/** Two hybrid composition cells ride along without quadrupling the
+ *  matrix: the arbitration/selector path is pinned by goldens too. */
+const std::vector<std::tuple<std::string, std::string>> kExtraCells = {
+    {"mcf-like.472", "hybrid(berti,cmc)"},
+    {"bwaves-like.2609", "hybrid(berti,markov;select=duel)"},
+};
+
 /** Pinned ROI; never derived from env so goldens cannot drift with
  *  BERTI_BENCH_QUICK or similar knobs. */
 SimParams
@@ -56,7 +63,15 @@ goldenParams()
 std::string
 goldenPath(const std::string &workload, const std::string &spec)
 {
-    return std::string(BERTI_GOLDEN_DIR) + "/" + workload + "__" + spec +
+    // Hybrid specs contain (),;= — flatten to filesystem-safe stems the
+    // same way the result store does.
+    std::string s = spec;
+    for (char &c : s) {
+        if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '.' || c == '-'))
+            c = '-';
+    }
+    return std::string(BERTI_GOLDEN_DIR) + "/" + workload + "__" + s +
            ".json";
 }
 
@@ -149,6 +164,8 @@ goldenMatrix()
     for (const auto &w : kWorkloads)
         for (const auto &s : kSpecs)
             cells.emplace_back(w, s);
+    for (const auto &c : kExtraCells)
+        cells.push_back(c);
     return cells;
 }
 
@@ -175,17 +192,15 @@ TEST(GoldenSchema, GoldensRoundTripAtCurrentVersion)
 {
     if (updateMode())
         GTEST_SKIP() << "goldens being regenerated";
-    for (const auto &w : kWorkloads) {
-        for (const auto &s : kSpecs) {
-            std::string path = goldenPath(w, s);
-            std::string error;
-            std::optional<obs::MetricsSnapshot> snap =
-                loadGolden(path, &error);
-            if (!snap)
-                FAIL() << error;
-            EXPECT_EQ(obs::toJson(*snap), obs::readFile(path)) << path;
-            EXPECT_GT(snap->size(), 50u) << path;
-        }
+    for (const auto &[w, s] : goldenMatrix()) {
+        std::string path = goldenPath(w, s);
+        std::string error;
+        std::optional<obs::MetricsSnapshot> snap =
+            loadGolden(path, &error);
+        if (!snap)
+            FAIL() << error;
+        EXPECT_EQ(obs::toJson(*snap), obs::readFile(path)) << path;
+        EXPECT_GT(snap->size(), 50u) << path;
     }
 }
 

@@ -44,6 +44,7 @@
 #include "harness/result_store.hh"
 #include "harness/supervisor.hh"
 #include "obs/export.hh"
+#include "sim/options.hh"
 #include "trace/registry.hh"
 #include "verify/sim_error.hh"
 
@@ -52,19 +53,29 @@ namespace
 
 using namespace berti;
 
+/** Split on commas at paren depth 0, so composed specs like
+ *  "hybrid(berti,cmc)" stay one list element. */
 std::vector<std::string>
 splitList(const std::string &csv)
 {
     std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= csv.size()) {
-        std::size_t comma = csv.find(',', start);
-        if (comma == std::string::npos)
-            comma = csv.size();
-        if (comma > start)
-            out.push_back(csv.substr(start, comma - start));
-        start = comma + 1;
+    std::string cur;
+    int depth = 0;
+    for (char c : csv) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (c == ',' && depth == 0) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            continue;
+        }
+        cur.push_back(c);
     }
+    if (!cur.empty())
+        out.push_back(cur);
     return out;
 }
 
@@ -194,9 +205,13 @@ main(int argc, char **argv)
         std::vector<Workload> workloads;
         for (const std::string &name : opt.workloads)
             workloads.push_back(resolveWorkload(name));
+        // Options-aware resolution: hybrid specs pick up the
+        // BERTI_HYBRID_* selector geometry and canonicalize their
+        // store-key names accordingly.
+        const sim::SimOptions simOpt = sim::SimOptions::fromEnv();
         std::vector<PrefetcherSpec> specs;
         for (const std::string &name : opt.specs)
-            specs.push_back(makeSpec(name));
+            specs.push_back(makeSpec(name, simOpt));
 
         std::unique_ptr<harness::ResultStore> store;
         if (!opt.storeDir.empty()) {
