@@ -20,6 +20,7 @@
 #include "harness/table.hh"
 #include "obs/export.hh"
 #include "sim/options.hh"
+#include "sim/spec_parse.hh"
 
 namespace berti::bench
 {
@@ -45,16 +46,22 @@ sanitizeLabel(const std::string &label)
  * stable resultSnapshot() schema. Colliding sanitized names get a
  * numeric suffix so no cell silently overwrites another. Called by
  * runSpecMatrix after the pool joins, so results arrive in input order
- * and the sidecar set is identical for every BERTI_JOBS value.
+ * and the sidecar set is identical for every BERTI_JOBS value. A
+ * non-empty subdir nests the sidecars one level down (fig24 keeps one
+ * subdirectory per memory backend so identical spec x workload cells
+ * from different backends never collide).
  */
 inline void
 writeStatsSidecars(const std::vector<Workload> &workloads,
                    const std::vector<PrefetcherSpec> &specs,
-                   const std::vector<std::vector<SimResult>> &grid)
+                   const std::vector<std::vector<SimResult>> &grid,
+                   const std::string &subdir = "")
 {
-    const std::string dir = sim::SimOptions::fromEnv().statsDir;
+    std::string dir = sim::SimOptions::fromEnv().statsDir;
     if (dir.empty())
         return;
+    if (!subdir.empty())
+        dir += "/" + sanitizeLabel(subdir);
     // A bench killed mid-write leaves a *.json.tmp staging file behind
     // (writeFile renames only on success); sweep them before writing so
     // the sidecar directory holds nothing but complete documents.
@@ -89,19 +96,10 @@ inline std::vector<Workload>
 extraTraceWorkloads(const sim::SimOptions &opt = sim::SimOptions::fromEnv())
 {
     std::vector<Workload> out;
-    const std::string &csv = opt.traceWorkloads;
-    std::size_t start = 0;
-    while (start <= csv.size() && !csv.empty()) {
-        std::size_t comma = csv.find(',', start);
-        if (comma == std::string::npos)
-            comma = csv.size();
-        if (comma > start) {
-            std::string name = csv.substr(start, comma - start);
-            if (name.compare(0, 5, "file:") != 0)
-                name = "file:" + name;
-            out.push_back(resolveWorkload(name));
-        }
-        start = comma + 1;
+    for (std::string name : sim::splitTopLevel(opt.traceWorkloads, ',')) {
+        if (name.compare(0, 5, "file:") != 0)
+            name = "file:" + name;
+        out.push_back(resolveWorkload(name));
     }
     return out;
 }
@@ -131,6 +129,9 @@ defaultParams(const sim::SimOptions &opt = sim::SimOptions::fromEnv())
         // warmup shrinks with it (windows re-warm locally).
         p.warmupInstructions = opt.benchQuick ? 4000 : 8000;
     }
+    // BERTI_MEM_BACKEND / --mem-backend= flows into every bench cell;
+    // paramsFingerprint keys non-default backends separately.
+    p.memBackend = opt.memBackend;
     return p;
 }
 
@@ -143,11 +144,12 @@ defaultParams(const sim::SimOptions &opt = sim::SimOptions::fromEnv())
 inline std::vector<std::vector<SimResult>>
 runSpecMatrix(const std::vector<Workload> &workloads,
               const std::vector<PrefetcherSpec> &specs,
-              const SimParams &params, const std::string &label = "matrix")
+              const SimParams &params, const std::string &label = "matrix",
+              const std::string &sidecarSubdir = "")
 {
     auto grid = runMatrixParallel(workloads, specs, params, /*jobs=*/0,
                                   stderrProgress(label));
-    writeStatsSidecars(workloads, specs, grid);
+    writeStatsSidecars(workloads, specs, grid, sidecarSubdir);
     return grid;
 }
 

@@ -43,7 +43,9 @@ for b in build/bench/*; do
     echo "=== $n start $(date +%T) (BERTI_JOBS=$BERTI_JOBS)"
     tmp="$results/.$n.txt.tmp"
     # Machine-diffable JSON stats sidecars, one per (spec, workload)
-    # cell, next to the human-readable table output.
+    # cell, next to the human-readable table output. fig24_mem_backends
+    # nests one subdirectory per memory backend in here, so its
+    # identically-named spec x workload cells never collide.
     BERTI_STATS_DIR="$results/stats/$n"
     export BERTI_STATS_DIR
     if "./build/bench/$n" > "$tmp" 2> "$results/log/$n.stderr"; then

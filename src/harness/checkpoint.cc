@@ -82,6 +82,10 @@ Machine::checkpointSupported(std::string *why) const
                            "' at the LLC does not support checkpointing");
         }
     }
+    if (!dram->checkpointSupported()) {
+        return blocked("memory backend '" + dram->name() +
+                       "' does not support checkpointing");
+    }
     return true;
 }
 
@@ -112,6 +116,13 @@ Machine::configFingerprint() const
     h.add(static_cast<std::uint64_t>(cfg.dram.rowBytes));
     h.add(static_cast<std::uint64_t>(cfg.dram.mtps));
     h.add(static_cast<std::uint64_t>(cfg.dram.linkLatency));
+    h.add(static_cast<std::uint64_t>(cfg.dram.busBytes));
+    h.add(static_cast<std::uint64_t>(cfg.dram.sched == DramSchedKind::Fcfs
+                                         ? 1
+                                         : 0));
+    h.add(static_cast<std::uint64_t>(cfg.dram.starvationCap));
+    h.add(std::string_view(cfg.memBackend.model));
+    h.add(static_cast<std::uint64_t>(cfg.memBackend.channels));
 
     h.add(static_cast<std::uint64_t>(cfg.tlb.dtlbSets));
     h.add(static_cast<std::uint64_t>(cfg.tlb.dtlbWays));

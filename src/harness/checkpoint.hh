@@ -37,8 +37,12 @@ namespace berti::harness
 /** "BERTICKP" read as a little-endian u64. */
 constexpr std::uint64_t kCheckpointMagic = 0x504b434954524542ull;
 
-/** Current checkpoint format version; bump on any layout change. */
-constexpr std::uint32_t kCheckpointVersion = 1;
+/** Current checkpoint format version; bump on any layout change.
+ *  v2: pluggable memory backends — the DRAM section gained the
+ *  FR-FCFS starvation-cap bypass counter, multi-channel backends wrap
+ *  per-channel sections in their own tags, and the config fingerprint
+ *  folds the backend model/scheduler/geometry. */
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 /** Bytes of header before the payload (magic + version + fingerprint
  *  + core count) and of the trailing checksum. */

@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "mem/backend_registry.hh"
 #include "prefetch/compose.hh"
 #include "prefetch/registry.hh"
 #include "sim/options.hh"
+#include "sim/spec_parse.hh"
 #include "verify/sim_error.hh"
 
 
@@ -22,24 +24,14 @@ bitsOf(const PrefetcherFactory &f)
 
 /**
  * The level separator of a combo like "mlop+bingo" is the '+' at paren
- * depth 0; a '+' inside a hybrid(...) child list belongs to the spec
- * (none today, but the split must not bite into one if the grammar
- * grows it).
+ * depth 0 (the shared paren-aware splitter, so a '+' inside a
+ * hybrid(...) child list belongs to the spec — none today, but the
+ * split must not bite into one if the grammar grows it).
  */
 std::size_t
 topLevelPlus(const std::string &combo)
 {
-    int depth = 0;
-    for (std::size_t i = 0; i < combo.size(); ++i) {
-        if (combo[i] == '(') {
-            ++depth;
-        } else if (combo[i] == ')') {
-            --depth;
-        } else if (combo[i] == '+' && depth == 0) {
-            return i;
-        }
-    }
-    return std::string::npos;
+    return sim::findTopLevel(combo, '+');
 }
 
 PrefetcherSpec
@@ -77,7 +69,16 @@ machineConfigFor(const PrefetcherSpec &spec, const SimParams &params,
                  unsigned cores)
 {
     MachineConfig cfg = MachineConfig::sunnyCove(cores);
-    cfg.dram.mtps = params.dramMtps;
+    // Resolve the memory backend ("" = dram:ddr4, the historical
+    // machine), then layer the legacy DRAM-speed knob on top only when
+    // it was actually moved off its default — Figures 16-17 sweep
+    // dramMtps on the default backend exactly as before, while e.g.
+    // "dram:hbm" keeps its preset rate under default params.
+    mem::ParsedBackend backend = mem::parseBackendSpec(params.memBackend);
+    cfg.dram = backend.channel;
+    cfg.memBackend = backend.sel;
+    if (params.dramMtps != kDefaultDramMtps)
+        cfg.dram.mtps = params.dramMtps;
     cfg.l1dPrefetcher = spec.l1d;
     cfg.l2Prefetcher = spec.l2;
     if (params.forceAudit)

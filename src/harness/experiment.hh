@@ -115,13 +115,34 @@ struct SampleGeometry
     }
 };
 
+/** The default per-channel DRAM data rate (the ddr4 preset's). */
+inline constexpr unsigned kDefaultDramMtps = 6400;
+
 /** Simulation lengths. Small by ChampSim standards but the generators
  *  are stationary, so measurements stabilise quickly. */
 struct SimParams
 {
     std::uint64_t warmupInstructions = 50000;
     std::uint64_t measureInstructions = 250000;
-    unsigned dramMtps = 6400;
+
+    /**
+     * Legacy DRAM-speed knob (Figures 16-17 sweep it). Applied as a
+     * per-channel mtps override on top of the selected memory backend
+     * only when it differs from kDefaultDramMtps; the backend preset
+     * supplies the rate otherwise. For the default backend this is
+     * exactly the historical behaviour (the ddr4 preset is 6400).
+     */
+    unsigned dramMtps = kDefaultDramMtps;
+
+    /**
+     * Memory-backend spec (mem/backend_registry.hh grammar), e.g.
+     * "dram:ddr5" or "dram:hbm;sched=fcfs". Empty = the default
+     * dram:ddr4 backend (bit-identical to the pre-backend harness).
+     * The canonical form is folded into paramsFingerprint() whenever
+     * it differs from the default, so result-store keys never collide
+     * across backends.
+     */
+    std::string memBackend;
 
     /** Interval sampling; disabled (full-run measurement) by default.
      *  The geometry is part of paramsFingerprint(), so sampled and

@@ -64,7 +64,7 @@ MachineConfig::sunnyCove(unsigned cores)
     m.llc.rqSize = 64;
     m.llc.repl = ReplKind::Drrip;
 
-    m.dram = DramConfig{};  // DDR5-6400, one channel per 4 cores
+    m.dram = DramConfig{};  // the ddr4 registry preset (one channel)
     return m;
 }
 
@@ -75,6 +75,11 @@ MachineConfig::applyOptions(const sim::SimOptions &opt)
     pfTrace = obs::TraceConfig::fromOptions(opt);
     audit = verify::AuditConfig::fromOptions(opt);
     cycleSkip = opt.cycleSkip;
+    if (!opt.memBackend.empty()) {
+        mem::ParsedBackend backend = mem::parseBackendSpec(opt.memBackend);
+        dram = backend.channel;
+        memBackend = backend.sel;
+    }
 }
 
 Machine::Machine(const MachineConfig &config,
@@ -98,13 +103,17 @@ Machine::Machine(const MachineConfig &config,
         if (!g)
             rejectConfig("null trace generator");
     }
-    if (cfg.dram.mtps == 0 || cfg.dram.banks == 0)
-        rejectConfig("DRAM needs banks > 0 and mtps > 0");
+    // Backend geometry/timing validation (typed, names the bad field).
+    cfg.dram.validate();
 
     if (cfg.audit.enabled)
         audit = std::make_unique<verify::SimAuditor>(cfg.audit, &clock);
 
-    dram = std::make_unique<Dram>(cfg.dram, &clock);
+    dram = cfg.memBackendHook
+               ? cfg.memBackendHook(&clock)
+               : mem::makeMemBackend(cfg.memBackend, cfg.dram, &clock);
+    if (!dram)
+        rejectConfig("memory backend hook returned null");
     if (cfg.faults)
         dram->setFaultInjector(cfg.faults);
 
@@ -433,7 +442,7 @@ Machine::liveStats(unsigned c) const
     s.llc = llc->stats;
     s.dtlb = nodes[c]->tu->dtlbStats();
     s.stlb = nodes[c]->tu->stlbStats();
-    s.dram = dram->stats;
+    s.dram = dram->statsSnapshot();
     return s;
 }
 
@@ -459,7 +468,7 @@ Machine::aggregateStats() const
     }
     s.core.cycles = clock;
     s.llc = llc->stats;
-    s.dram = dram->stats;
+    s.dram = dram->statsSnapshot();
     return s;
 }
 

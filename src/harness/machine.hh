@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cpu/core.hh"
+#include "mem/backend_registry.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "obs/event_trace.hh"
@@ -38,6 +39,12 @@ class FaultInjector;
 /** Factory for per-core prefetcher instances. */
 using PrefetcherFactory = std::function<std::unique_ptr<Prefetcher>()>;
 
+/** Test hook: build the memory backend yourself (scripted backends for
+ *  the nextEventCycle() contract tests). Null = the registry builds
+ *  from MachineConfig::memBackend + MachineConfig::dram. */
+using MemBackendFactory =
+    std::function<std::unique_ptr<mem::MemBackend>(const Cycle *clock)>;
+
 struct MachineConfig
 {
     unsigned cores = 1;
@@ -46,7 +53,21 @@ struct MachineConfig
     CacheConfig l1d;
     CacheConfig l2;
     CacheConfig llc;      //!< sized per core at build time
+    /** Per-channel DRAM timing/geometry (the whole backend when
+     *  memBackend.channels == 1, which is the default). */
     DramConfig dram;
+    /**
+     * Memory-backend selection: the registry model that shaped `dram`
+     * and the channel count the Machine builds (1 = a single Dram,
+     * exactly the historical machine; > 1 = a line-interleaved
+     * MultiChannelDram). Resolve both fields together from a spec
+     * string via applyOptions() or mem::parseBackendSpec — setting
+     * `dram` by hand on a single-channel machine also keeps working.
+     */
+    mem::BackendSel memBackend;
+    /** Test hook overriding backend construction entirely (see
+     *  MemBackendFactory); fingerprints still describe `dram`. */
+    MemBackendFactory memBackendHook;
     TranslationUnit::Config tlb;
     PrefetcherFactory l1dPrefetcher;  //!< null = no L1D prefetcher
     PrefetcherFactory l2Prefetcher;   //!< null = no L2 prefetcher
@@ -93,9 +114,13 @@ struct MachineConfig
 
     /**
      * Re-derive every options-driven field (sampler, pfTrace, audit,
-     * cycleSkip) from one already-parsed options value instead of the
-     * per-field environment defaults — the hook benches use to thread
-     * CLI-overridden SimOptions through to the Machine.
+     * cycleSkip, and — when opt.memBackend is set — the memory
+     * backend, resolved through the same mem::parseBackendSpec grammar
+     * machineConfigFor uses) from one already-parsed options value
+     * instead of the per-field environment defaults — the hook benches
+     * use to thread CLI-overridden SimOptions through to the Machine.
+     * An unknown backend spec throws
+     * verify::SimError(ErrorKind::Config) naming the string.
      */
     void applyOptions(const sim::SimOptions &opt);
 };
@@ -264,7 +289,7 @@ class Machine
     // they register; it stores raw pointers into them, never owning.
     obs::MetricsRegistry metricsReg;
     std::vector<std::unique_ptr<obs::PrefetchEventTrace>> ptraces;
-    std::unique_ptr<Dram> dram;
+    std::unique_ptr<mem::MemBackend> dram;
     std::unique_ptr<Cache> llc;
     std::vector<std::unique_ptr<CoreNode>> nodes;
     std::vector<RunStats> snapshots;

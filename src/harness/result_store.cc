@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "mem/backend_registry.hh"
 #include "obs/export.hh"
 #include "sim/serialize.hh"
 #include "verify/sim_error.hh"
@@ -101,6 +102,15 @@ paramsFingerprint(const SimParams &params)
     h.add(on ? g.windowWarmup : 0);
     h.add(on ? g.windowMeasure : 0);
     h.add(on ? g.stride() : 0);
+    // Memory backend, canonicalised so equivalent specs share a key
+    // ("dram:ddr4;sched=frfcfs" == "dram:ddr4" == ""). Folded only when
+    // it differs from the default backend, so every store entry written
+    // before backends existed keeps its key.
+    std::string backend = mem::canonicalBackendSpec(params.memBackend);
+    if (backend != mem::kDefaultBackendSpec) {
+        h.add(std::uint64_t{0});
+        h.add(std::string_view(backend));
+    }
     return h.value();
 }
 

@@ -59,10 +59,12 @@ struct StoreKey
 
 /**
  * Fingerprint of the SimParams fields that affect cell results:
- * warmup/measure lengths, DRAM speed, and — since the sampled-interval
- * harness landed — the canonical sampling geometry (window count,
- * per-window warmup/measure, stride), so sampled and full-run cells
- * always address distinct store entries. Changing any of these
+ * warmup/measure lengths, DRAM speed, the canonical sampling geometry
+ * (window count, per-window warmup/measure, stride) so sampled and
+ * full-run cells always address distinct store entries, and the
+ * canonical memory-backend spec (folded only when it differs from the
+ * default dram:ddr4, so pre-backend store keys stay stable while
+ * distinct backends can never share a cell). Changing any of these
  * invalidated every pre-sampling store key once, by design: old caches
  * recompute rather than risk serving results from different params.
  */

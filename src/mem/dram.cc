@@ -2,13 +2,65 @@
 
 #include "obs/metrics.hh"
 #include "verify/fault_injector.hh"
+#include "verify/sim_error.hh"
 
 namespace berti
 {
 
+namespace
+{
+
+[[noreturn]] void
+rejectField(const std::string &field, const std::string &detail)
+{
+    throw verify::SimError(verify::ErrorKind::Config, "DramConfig",
+                           field + " " + detail);
+}
+
+} // namespace
+
+void
+DramConfig::validate() const
+{
+    if (banks == 0)
+        rejectField("banks", "must be > 0");
+    if (rqSize == 0)
+        rejectField("rqSize", "must be > 0");
+    if (wqSize == 0)
+        rejectField("wqSize", "must be > 0");
+    if (rowBytes < kLineSize || rowBytes % kLineSize != 0) {
+        rejectField("rowBytes",
+                    "= " + std::to_string(rowBytes) +
+                        " must be a positive multiple of the " +
+                        std::to_string(kLineSize) + " B line size");
+    }
+    if (mtps == 0)
+        rejectField("mtps", "must be > 0");
+    if (busBytes == 0)
+        rejectField("busBytes", "must be > 0");
+    if (tRp == 0)
+        rejectField("tRp", "must be > 0");
+    if (tRcd == 0)
+        rejectField("tRcd", "must be > 0");
+    if (tCas == 0)
+        rejectField("tCas", "must be > 0");
+    if (!(writeDrainWatermark > 0.0) || writeDrainWatermark > 1.0) {
+        rejectField("writeDrainWatermark",
+                    "= " + std::to_string(writeDrainWatermark) +
+                        " must be in (0, 1]");
+    }
+    if (burstCycles() == 0) {
+        rejectField("mtps/busBytes",
+                    "data rate so high a 64 B burst rounds to 0 cycles "
+                    "(mtps=" + std::to_string(mtps) +
+                        ", busBytes=" + std::to_string(busBytes) + ")");
+    }
+}
+
 Dram::Dram(const DramConfig &config, const Cycle *clock_ptr)
     : cfg(config), clock(clock_ptr), banks(cfg.banks)
 {
+    cfg.validate();
     // Allocation-free steady state: queue rings at their configured
     // bounds (wq is soft-capacity, so headroom), and the completion
     // heap's backing vector pre-reserved past the read-queue bound.
@@ -82,6 +134,7 @@ Dram::accessBank(Addr p_line)
     Cycle finish = bus_start + cfg.burstCycles();
     busFreeCycle = finish;
     bank.readyCycle = start + occupy;
+    stats.busBusyCycles += cfg.burstCycles();
     return finish + cfg.linkLatency;
 }
 
@@ -99,12 +152,16 @@ Dram::scheduleOne()
 
     bool do_write = drainingWrites || (rq.empty() && !wq.empty());
     if (do_write) {
-        // FR-FCFS among writes: first row hit, else oldest.
+        // FR-FCFS among writes: first row hit, else oldest. FCFS takes
+        // strictly the oldest. No starvation cap on the write side —
+        // writes are latency-insensitive and drain in bursts anyway.
         std::size_t pick = 0;
-        for (std::size_t i = 0; i < wq.size(); ++i) {
-            if (banks[bankOf(wq[i])].openRow == rowOf(wq[i])) {
-                pick = i;
-                break;
+        if (cfg.sched == DramSchedKind::FrFcfs) {
+            for (std::size_t i = 0; i < wq.size(); ++i) {
+                if (banks[bankOf(wq[i])].openRow == rowOf(wq[i])) {
+                    pick = i;
+                    break;
+                }
             }
         }
         Addr p_line = wq[pick];
@@ -118,18 +175,24 @@ Dram::scheduleOne()
         return;
 
     // FR-FCFS among reads: the oldest request to an open row wins;
-    // otherwise the oldest request overall.
+    // otherwise — and always under FCFS, or once the starvation cap is
+    // spent — the oldest request overall.
     std::size_t pick = 0;
     bool found_hit = false;
-    for (std::size_t i = 0; i < rq.size(); ++i) {
-        if (banks[bankOf(rq[i].pLine)].openRow == rowOf(rq[i].pLine)) {
-            pick = i;
-            found_hit = true;
-            break;
+    if (cfg.sched == DramSchedKind::FrFcfs &&
+        (cfg.starvationCap == 0 || headBypassed < cfg.starvationCap)) {
+        for (std::size_t i = 0; i < rq.size(); ++i) {
+            if (banks[bankOf(rq[i].pLine)].openRow ==
+                rowOf(rq[i].pLine)) {
+                pick = i;
+                found_hit = true;
+                break;
+            }
         }
     }
     if (!found_hit)
         pick = 0;
+    headBypassed = pick == 0 ? 0 : headBypassed + 1;
 
     MemRequest req = rq[pick];
     rq.erase(pick);
@@ -143,6 +206,10 @@ Dram::scheduleOne()
             return;
         finish += faults->extraDramLatency(req);
     }
+    // Queue-to-data read latency, after any injected spike; lost reads
+    // never complete, so they are deliberately not counted.
+    stats.readLatencySum += finish - req.enqueueCycle;
+    ++stats.readLatencyCount;
     inflight.push({finish, nextCompletionSeq++, req});
 }
 
@@ -188,6 +255,23 @@ Dram::nextEventCycle() const
     return next;
 }
 
+std::string
+Dram::auditViolation() const
+{
+    if (rq.size() > cfg.rqSize) {
+        return "read queue occupancy " + std::to_string(rq.size()) +
+               " exceeds declared bound " + std::to_string(cfg.rqSize);
+    }
+    std::size_t wq_bound = 16ull * cfg.wqSize + 256;
+    if (wq.size() > wq_bound) {
+        return "write queue occupancy " + std::to_string(wq.size()) +
+               " exceeds soft bound " + std::to_string(wq_bound);
+    }
+    if (banks.size() != cfg.banks)
+        return "bank array size mismatch";
+    return {};
+}
+
 void
 Dram::saveState(sim::ByteWriter &w, const sim::PtrMap &clients) const
 {
@@ -206,6 +290,7 @@ Dram::saveState(sim::ByteWriter &w, const sim::PtrMap &clients) const
     w.b(drainingWrites);
     w.u64(busFreeCycle);
     w.u64(nextCompletionSeq);
+    w.u64(headBypassed);
 
     // Drain a copy of the heap: pops come out in (finish, seq) order,
     // which is total, so the serialized layout is deterministic.
@@ -241,6 +326,7 @@ Dram::loadState(sim::ByteReader &r, const sim::PtrMap &clients)
     drainingWrites = r.b();
     busFreeCycle = r.u64();
     nextCompletionSeq = r.u64();
+    headBypassed = r.u64();
 
     while (!inflight.empty())
         inflight.pop();
@@ -268,6 +354,16 @@ Dram::registerMetrics(obs::MetricsRegistry &registry,
             stats.rowHits + stats.rowMisses + stats.rowConflicts;
         return accesses ? static_cast<double>(stats.rowHits) / accesses
                         : 0.0;
+    });
+    registry.gauge(prefix + "avg_read_latency", [this] {
+        return stats.readLatencyCount
+                   ? static_cast<double>(stats.readLatencySum) /
+                         stats.readLatencyCount
+                   : 0.0;
+    });
+    registry.gauge(prefix + "bus_utilization", [this] {
+        return *clock ? static_cast<double>(stats.busBusyCycles) / *clock
+                      : 0.0;
     });
 }
 

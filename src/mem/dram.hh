@@ -1,9 +1,12 @@
 /**
  * @file
- * DRAM controller + device timing model: FR-FCFS scheduling, per-bank
- * open-page row buffers, read priority with a write-drain watermark, and
- * a shared data bus whose burst time is derived from the configured MTPS
- * (so DDR5-6400 / DDR4-3200 / DDR3-1600 of Figures 16-17 are one knob).
+ * DRAM controller + device timing model: FR-FCFS (or FCFS) scheduling,
+ * per-bank open-page row buffers, read priority with a write-drain
+ * watermark, and a shared data bus whose burst time is derived from the
+ * configured MTPS and bus width (so the DDR4/DDR5/LPDDR5/HBM presets of
+ * mem/backend_registry.hh — and Figures 16-17's speed sweep — are
+ * config knobs on one model). One Dram is one channel; the
+ * MultiChannelDram backend (mem/multichannel.hh) composes several.
  */
 
 #ifndef BERTI_MEM_DRAM_HH
@@ -12,6 +15,7 @@
 #include <queue>
 #include <vector>
 
+#include "mem/backend.hh"
 #include "mem/cache.hh"
 #include "mem/request.hh"
 #include "sim/ring.hh"
@@ -24,8 +28,14 @@ namespace berti
 namespace verify
 {
 class FaultInjector;
-class SimAuditor;
 } // namespace verify
+
+/** Controller scheduling policy. */
+enum class DramSchedKind
+{
+    FrFcfs, //!< first-ready (open-row hit) first, else oldest
+    Fcfs    //!< strictly oldest-first
+};
 
 struct DramConfig
 {
@@ -36,8 +46,21 @@ struct DramConfig
     Cycle tRp = 50;               //!< 12.5 ns at 4 GHz
     Cycle tRcd = 50;
     Cycle tCas = 50;
-    unsigned mtps = 6400;         //!< mega-transfers/s on an 8 B bus
+    unsigned mtps = 6400;         //!< mega-transfers/s on the data bus
+    unsigned busBytes = 8;        //!< data bus width in bytes
     double writeDrainWatermark = 7.0 / 8.0;
+
+    /** Scheduling policy; FR-FCFS is the historical default. */
+    DramSchedKind sched = DramSchedKind::FrFcfs;
+
+    /**
+     * FR-FCFS starvation cap: after this many consecutive scheduling
+     * decisions bypassed the oldest read in favour of a row hit, the
+     * oldest read is forced. 0 (default) keeps the historical
+     * unbounded row-hit preference. Applies to reads only — writes are
+     * latency-insensitive and drain in watermark bursts.
+     */
+    unsigned starvationCap = 0;
 
     /**
      * Off-chip round-trip overhead (controller front-end, PHY, on-die
@@ -52,16 +75,30 @@ struct DramConfig
     Cycle
     burstCycles() const
     {
-        // bytes/s = mtps * 1e6 * 8; cycles = 64 B / rate * 4 GHz.
-        return static_cast<Cycle>(64ull * 4000 / (8ull * mtps));
+        // bytes/s = mtps * 1e6 * busBytes; cycles = 64 B / rate * 4 GHz.
+        return static_cast<Cycle>(
+            64ull * 4000 /
+            (static_cast<unsigned long long>(busBytes) * mtps));
     }
+
+    /**
+     * Reject degenerate geometry/timing at construction: throws
+     * verify::SimError(ErrorKind::Config) naming the bad field (zero
+     * banks/queues/mtps/busBytes, a row smaller than or not a multiple
+     * of the line size, zero activate/CAS timings, an out-of-range
+     * write-drain watermark, or a data rate so high the 64 B burst
+     * rounds to zero cycles). Called by the Dram constructor, so no
+     * backend can be built on silently-broken timings.
+     */
+    void validate() const;
 };
 
 /**
- * Single-channel DRAM. Reads complete through ReadClient callbacks;
- * writes are fire-and-forget.
+ * Single-channel DRAM: the concrete MemBackend every registry model
+ * configures. Reads complete through ReadClient callbacks; writes are
+ * fire-and-forget.
  */
-class Dram : public MemLevel
+class Dram : public mem::MemBackend
 {
   public:
     Dram(const DramConfig &cfg, const Cycle *clock);
@@ -69,7 +106,7 @@ class Dram : public MemLevel
     bool submitRead(MemRequest req) override;
     void submitWriteback(Addr p_line) override;
 
-    void tick();
+    void tick() override;
 
     /**
      * Earliest future cycle at which tick() would do work (kNever when
@@ -77,38 +114,51 @@ class Dram : public MemLevel
      * for the scheduler's bus lookahead gate so no scheduling decision
      * is reached late.
      */
-    Cycle nextEventCycle() const;
+    Cycle nextEventCycle() const override;
 
     bool readQueueEmpty() const { return rq.empty(); }
-    std::size_t pendingReads() const { return rq.size() + inflight.size(); }
-    std::size_t rqOccupancy() const { return rq.size(); }
-    std::size_t wqOccupancy() const { return wq.size(); }
+    std::size_t pendingReads() const override
+    {
+        return rq.size() + inflight.size();
+    }
+    std::size_t rqOccupancy() const override { return rq.size(); }
+    std::size_t wqOccupancy() const override { return wq.size(); }
 
     /** Optional fault-injection hook (null = no faults). */
-    void setFaultInjector(verify::FaultInjector *injector)
+    void setFaultInjector(verify::FaultInjector *injector) override
     {
         faults = injector;
     }
 
     /**
-     * Register the DRAM access counters and a derived row-hit-rate
-     * gauge into the registry. Called once at Machine construction.
+     * Register the DRAM access counters, a derived row-hit-rate gauge,
+     * the average read latency and the bus utilisation into the
+     * registry. Called once at Machine construction.
      */
     void registerMetrics(obs::MetricsRegistry &registry,
-                         const std::string &prefix);
+                         const std::string &prefix) override;
 
     DramStats stats;
 
+    DramStats statsSnapshot() const override { return stats; }
+
+    /** Queue-bound / geometry invariants (the auditor hook). */
+    std::string auditViolation() const override;
+
+    std::string name() const override { return "dram"; }
+
     /**
      * Checkpoint hooks: banks, queues, the write-drain hysteresis flag,
-     * bus state and the in-flight completion heap (drained in ascending
-     * order so the blob is deterministic).
+     * bus state, the starvation-cap bypass counter and the in-flight
+     * completion heap (drained in ascending order so the blob is
+     * deterministic).
      */
-    void saveState(sim::ByteWriter &w, const sim::PtrMap &clients) const;
-    void loadState(sim::ByteReader &r, const sim::PtrMap &clients);
+    void saveState(sim::ByteWriter &w,
+                   const sim::PtrMap &clients) const override;
+    void loadState(sim::ByteReader &r,
+                   const sim::PtrMap &clients) override;
 
   private:
-    friend class verify::SimAuditor;
     struct Bank
     {
         Addr openRow = kNoAddr;
@@ -150,6 +200,9 @@ class Dram : public MemLevel
     bool drainingWrites = false;
     Cycle busFreeCycle = 0;
     std::uint64_t nextCompletionSeq = 0;
+    /** Consecutive read picks that bypassed the queue head (FR-FCFS
+     *  starvation accounting; forces the head at cfg.starvationCap). */
+    std::uint64_t headBypassed = 0;
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>>
         inflight;

@@ -136,6 +136,11 @@ SimOptions::fromEnv()
     if (const char *tw = std::getenv("BERTI_TRACE_WORKLOADS"); tw && *tw)
         opt.traceWorkloads = tw;
 
+    // Memory backend: stored raw, validated by mem::parseBackendSpec
+    // where the machine is configured (typed Config error there).
+    if (const char *mb = std::getenv("BERTI_MEM_BACKEND"); mb && *mb)
+        opt.memBackend = mb;
+
     // Hardening. A malformed BERTI_VERIFY_INTERVAL is silently ignored
     // (historical auditor behavior: auditing must never be knocked out
     // by a bad interval in CI).
@@ -219,6 +224,10 @@ SimOptions::applyFlag(const std::string &arg)
     }
     if (const char *v = value("--trace-workloads=")) {
         traceWorkloads = v;
+        return true;
+    }
+    if (const char *v = value("--mem-backend=")) {
+        memBackend = v;
         return true;
     }
 

@@ -112,6 +112,18 @@ struct SimOptions
     /** PSEL counter width in bits (BERTI_HYBRID_PSEL_BITS). */
     unsigned hybridPselBits = 10;
 
+    // ----------------------------------------------- memory backend
+    /**
+     * Memory-backend spec (BERTI_MEM_BACKEND / --mem-backend=), e.g.
+     * "dram:ddr5" or "dram:hbm;sched=fcfs"; empty keeps the default
+     * (dram:ddr4, the historical timings). Stored raw here — options
+     * parsing stays layering-clean below src/mem — and validated with
+     * typed errors where it is resolved
+     * (mem::parseBackendSpec via MachineConfig::applyOptions /
+     * machineConfigFor; see mem/backend_registry.hh for the grammar).
+     */
+    std::string memBackend;
+
     // ------------------------------------------------- bench harness
     /** Smoke-size bench regions of interest (BERTI_BENCH_QUICK=1). */
     bool benchQuick = false;
@@ -146,7 +158,8 @@ struct SimOptions
     /**
      * Apply one "--key[=value]" override on top of the current values.
      * Recognised: --jobs=N, --quick, --no-cycle-skip, --cycle-skip,
-     * --stats-dir=DIR, --trace-workloads=LIST, --verify,
+     * --stats-dir=DIR, --trace-workloads=LIST, --mem-backend=SPEC,
+     * --verify,
      * --sample-windows=N, --sample-warmup=N,
      * --sample-measure=N, --sample-stride=N, --hybrid-degree=N,
      * --hybrid-credits=N, --hybrid-credit-max=N, --hybrid-duel-sets=N,

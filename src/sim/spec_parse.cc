@@ -1,0 +1,84 @@
+#include "sim/spec_parse.hh"
+
+#include <cstdlib>
+
+#include "verify/sim_error.hh"
+
+namespace berti::sim
+{
+
+std::vector<std::string>
+splitTopLevel(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : text) {
+        if (c == '(')
+            ++depth;
+        else if (c == ')')
+            --depth;
+        if (c == sep && depth == 0) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            continue;
+        }
+        cur.push_back(c);
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::size_t
+findTopLevel(const std::string &text, char sep)
+{
+    int depth = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '(')
+            ++depth;
+        else if (text[i] == ')')
+            --depth;
+        else if (text[i] == sep && depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+std::vector<SpecOption>
+parseSpecOptions(const std::string &text, const std::string &component)
+{
+    std::vector<SpecOption> out;
+    for (const std::string &clause : splitTopLevel(text, ';')) {
+        std::size_t eq = findTopLevel(clause, '=');
+        if (eq == std::string::npos || eq == 0) {
+            throw verify::SimError(
+                verify::ErrorKind::Config, component,
+                "malformed option \"" + clause +
+                    "\" (expected key=value)");
+        }
+        out.push_back({clause.substr(0, eq), clause.substr(eq + 1)});
+    }
+    return out;
+}
+
+std::uint64_t
+parseSpecUnsigned(const std::string &key, const std::string &value,
+                  const std::string &component, bool zero_ok)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    bool ok = !value.empty() && end && *end == '\0';
+    if (ok && !zero_ok && v == 0)
+        ok = false;
+    if (!ok) {
+        throw verify::SimError(
+            verify::ErrorKind::Config, component,
+            key + "=\"" + value + "\" is not a " +
+                (zero_ok ? "non-negative" : "positive") + " integer");
+    }
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace berti::sim

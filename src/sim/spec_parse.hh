@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared paren-aware spec-string parsing. Every grammar in the harness
+ * that splits composite names — prefetcher combos ("mlop+bingo",
+ * "hybrid(berti,cmc;select=ip)"), workload lists with `file:` URIs,
+ * memory-backend specs ("dram:ddr5;sched=fcfs") — splits at paren
+ * depth 0 so nested argument lists stay intact. This header is that
+ * one splitter, plus the `;key=value` option-list parser the backend
+ * and hybrid grammars share, so makeSpec-style resolution and
+ * MachineConfig::applyOptions can never drift apart.
+ */
+
+#ifndef BERTI_SIM_SPEC_PARSE_HH
+#define BERTI_SIM_SPEC_PARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace berti::sim
+{
+
+/**
+ * Split `text` on `sep` at paren depth 0. Separators inside (...) are
+ * part of the element, so "hybrid(berti,cmc),none" splits into two.
+ * Empty elements are dropped (",a,," yields {"a"}), matching the
+ * historical behaviour of every list this replaces.
+ */
+std::vector<std::string> splitTopLevel(const std::string &text, char sep);
+
+/**
+ * Index of the first `sep` at paren depth 0, or std::string::npos.
+ * The level separator of "mlop+bingo" and the option separator of
+ * backend specs both resolve through this.
+ */
+std::size_t findTopLevel(const std::string &text, char sep);
+
+/** One `key=value` option from a `;`-separated option list. */
+struct SpecOption
+{
+    std::string key;
+    std::string value;
+};
+
+/**
+ * Parse a `;`-separated `key=value` option list (the text after the
+ * first `;` of a spec like "dram:ddr5;sched=fcfs;cap=8"). A clause
+ * without '=' or with an empty key throws
+ * verify::SimError(ErrorKind::Config) naming `component` and the
+ * offending clause; empty clauses (";;") are dropped.
+ */
+std::vector<SpecOption> parseSpecOptions(const std::string &text,
+                                         const std::string &component);
+
+/**
+ * Strict non-negative integer parse for a spec option value. Throws
+ * verify::SimError(ErrorKind::Config) naming `component` and `key`
+ * when `value` is not a plain decimal integer (or is zero while
+ * `zero_ok` is false).
+ */
+std::uint64_t parseSpecUnsigned(const std::string &key,
+                                const std::string &value,
+                                const std::string &component,
+                                bool zero_ok = false);
+
+} // namespace berti::sim
+
+#endif // BERTI_SIM_SPEC_PARSE_HH

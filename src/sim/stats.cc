@@ -35,6 +35,9 @@ constexpr StatField<CacheStats> kCacheFields[] = {
 };
 
 constexpr StatField<DramStats> kDramFields[] = {
+    {"bus_busy_cycles", &DramStats::busBusyCycles},
+    {"read_latency_count", &DramStats::readLatencyCount},
+    {"read_latency_sum", &DramStats::readLatencySum},
     {"reads", &DramStats::reads},
     {"row_conflicts", &DramStats::rowConflicts},
     {"row_hits", &DramStats::rowHits},

@@ -103,6 +103,12 @@ struct DramStats
     std::uint64_t rowHits = 0;
     std::uint64_t rowMisses = 0;
     std::uint64_t rowConflicts = 0;
+    /** Cycles the channel data bus spent transferring bursts. */
+    std::uint64_t busBusyCycles = 0;
+    /** Sum/count of enqueue-to-data read latencies (lost injected reads
+     *  excluded); avg = readLatencySum / readLatencyCount. */
+    std::uint64_t readLatencySum = 0;
+    std::uint64_t readLatencyCount = 0;
 
     static std::span<const StatField<DramStats>> fields();
 

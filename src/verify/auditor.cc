@@ -3,8 +3,8 @@
 #include <cstdlib>
 
 #include "cpu/core.hh"
+#include "mem/backend.hh"
 #include "mem/cache.hh"
-#include "mem/dram.hh"
 #include "sim/options.hh"
 #include "vm/tlb.hh"
 
@@ -37,9 +37,9 @@ SimAuditor::attach(const Cache *cache)
 }
 
 void
-SimAuditor::attach(const Dram *dram)
+SimAuditor::attach(const mem::MemBackend *backend)
 {
-    drams.push_back(dram);
+    backends.push_back(backend);
 }
 
 void
@@ -69,8 +69,8 @@ SimAuditor::checkNow() const
     ++checks;
     for (const Cache *c : caches)
         checkCache(*c);
-    for (const Dram *d : drams)
-        checkDram(*d);
+    for (const mem::MemBackend *b : backends)
+        checkMemBackend(*b);
     for (const Core *c : cores)
         checkCore(*c);
     for (const TranslationUnit *t : tus)
@@ -195,21 +195,13 @@ SimAuditor::checkCache(const Cache &cache) const
 }
 
 void
-SimAuditor::checkDram(const Dram &dram) const
+SimAuditor::checkMemBackend(const mem::MemBackend &backend) const
 {
-    if (dram.rq.size() > dram.cfg.rqSize)
-        fail("DRAM", "read queue occupancy " +
-                         std::to_string(dram.rq.size()) +
-                         " exceeds declared bound " +
-                         std::to_string(dram.cfg.rqSize));
-    std::size_t wq_bound = 16ull * dram.cfg.wqSize + 256;
-    if (dram.wq.size() > wq_bound)
-        fail("DRAM", "write queue occupancy " +
-                         std::to_string(dram.wq.size()) +
-                         " exceeds soft bound " +
-                         std::to_string(wq_bound));
-    if (dram.banks.size() != dram.cfg.banks)
-        fail("DRAM", "bank array size mismatch");
+    // The backend owns its invariants (queue bounds, geometry
+    // consistency); the hook returns "" while they hold.
+    std::string violation = backend.auditViolation();
+    if (!violation.empty())
+        fail(backend.name(), violation);
 }
 
 void

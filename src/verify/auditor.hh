@@ -37,9 +37,13 @@ namespace berti
 {
 class Cache;
 class Core;
-class Dram;
 class Tlb;
 class TranslationUnit;
+
+namespace mem
+{
+class MemBackend;
+} // namespace mem
 } // namespace berti
 
 namespace berti::sim
@@ -74,7 +78,9 @@ class SimAuditor
 
     // Registration (observation only; the auditor never mutates).
     void attach(const Cache *cache);
-    void attach(const Dram *dram);
+    /** Any memory backend: invariants come from its auditViolation()
+     *  hook, so new backends are auditable without friend access. */
+    void attach(const mem::MemBackend *backend);
     void attach(const Core *core);
     void attach(const TranslationUnit *tu);
 
@@ -95,7 +101,7 @@ class SimAuditor
 
   private:
     void checkCache(const Cache &cache) const;
-    void checkDram(const Dram &dram) const;
+    void checkMemBackend(const mem::MemBackend &backend) const;
     void checkCore(const Core &core) const;
     void checkTranslation(const TranslationUnit &tu) const;
     void checkTlb(const Tlb &tlb, const TranslationUnit &tu,
@@ -110,7 +116,7 @@ class SimAuditor
     mutable std::uint64_t checks = 0;
 
     std::vector<const Cache *> caches;
-    std::vector<const Dram *> drams;
+    std::vector<const mem::MemBackend *> backends;
     std::vector<const Core *> cores;
     std::vector<const TranslationUnit *> tus;
 };

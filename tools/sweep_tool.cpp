@@ -16,6 +16,9 @@
  *     --store=DIR           result store directory (enables resume)
  *     --out=DIR             write per-cell resultSnapshot JSON here
  *     --warmup=N --measure=N --dram-mtps=N
+ *     --mem-backend=SPEC    memory backend (mem/backend_registry.hh
+ *                           grammar, e.g. dram:ddr5 or
+ *                           "dram:hbm;sched=fcfs"; default dram:ddr4)
  *     --sample-windows=N    sampled mode: N measurement windows (0=off)
  *     --sample-warmup=N     per-window warmup instructions
  *     --sample-measure=N    per-window measured instructions (> 0)
@@ -45,6 +48,7 @@
 #include "harness/supervisor.hh"
 #include "obs/export.hh"
 #include "sim/options.hh"
+#include "sim/spec_parse.hh"
 #include "trace/registry.hh"
 #include "verify/sim_error.hh"
 
@@ -58,25 +62,7 @@ using namespace berti;
 std::vector<std::string>
 splitList(const std::string &csv)
 {
-    std::vector<std::string> out;
-    std::string cur;
-    int depth = 0;
-    for (char c : csv) {
-        if (c == '(')
-            ++depth;
-        else if (c == ')')
-            --depth;
-        if (c == ',' && depth == 0) {
-            if (!cur.empty())
-                out.push_back(cur);
-            cur.clear();
-            continue;
-        }
-        cur.push_back(c);
-    }
-    if (!cur.empty())
-        out.push_back(cur);
-    return out;
+    return sim::splitTopLevel(csv, ',');
 }
 
 struct Options
@@ -124,6 +110,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.params.measureInstructions = std::stoull(v);
         } else if (valueOf(arg, "--dram-mtps=", v)) {
             opt.params.dramMtps = static_cast<unsigned>(std::stoul(v));
+        } else if (valueOf(arg, "--mem-backend=", v)) {
+            opt.params.memBackend = v;
         } else if (valueOf(arg, "--sample-windows=", v)) {
             opt.params.sampling.windowCount =
                 static_cast<unsigned>(std::stoul(v));
